@@ -1,0 +1,34 @@
+"""Ablation — asynchronous (ASGD) EQC vs a barrier-synchronized ensemble.
+
+Not a paper figure: this probes the design choice of asynchronous updates.
+The synchronous variant waits for the slowest device every cycle, so its
+wall-clock throughput collapses to the slowest member while the asynchronous
+master keeps every device saturated.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablations import run_async_vs_sync
+
+
+def test_ablation_async_vs_sync(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_async_vs_sync,
+        kwargs={
+            "epochs": 40,
+            "device_names": ("x2", "Belem", "Quito", "Bogota", "Casablanca", "Toronto"),
+            "shots": bench_scale["shots"] // 2,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: asynchronous vs synchronous ensemble ===")
+    print(format_table(rows))
+
+    by_mode = {row["mode"]: row for row in rows}
+    async_row = by_mode["async"]
+    sync_row = next(row for mode, row in by_mode.items() if mode.startswith("sync"))
+    # asynchrony buys wall-clock throughput at equal epoch counts
+    assert async_row["epochs_per_hour"] > sync_row["epochs_per_hour"]
+    # both optimize to a similar energy
+    assert abs(async_row["final_energy"] - sync_row["final_energy"]) < 1.5

@@ -1,0 +1,29 @@
+"""Ablation — live PCorrect refresh vs weights frozen at ensemble formation.
+
+Not a paper figure: this probes the "real-time adaptive" claim of the
+weighting system by disabling the per-job recomputation of PCorrect.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablations import run_weight_refresh_ablation
+
+
+def test_ablation_weight_refresh(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_weight_refresh_ablation,
+        kwargs={
+            "epochs": 40,
+            "device_names": ("x2", "Belem", "Quito", "Bogota", "Casablanca", "Toronto"),
+            "shots": bench_scale["shots"] // 2,
+            "seed": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: PCorrect refresh cadence ===")
+    print(format_table(rows))
+
+    assert len(rows) == 2
+    for row in rows:
+        # both configurations make solid progress from the +8 starting energy
+        assert row["final_energy"] < 0.0

@@ -1,0 +1,29 @@
+"""Ablation — throughput and error as the ensemble grows from 1 to 10 devices.
+
+Not a paper figure: quantifies how much of EQC's speedup comes from each
+additional backend, and that accuracy does not degrade as noisier devices
+join (the mixture dampens their bias).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.ablations import run_ensemble_size_sweep
+
+
+def test_ablation_ensemble_size(benchmark, bench_scale):
+    sizes = (1, 2, 4, 6, 8, 10)
+    rows = benchmark.pedantic(
+        run_ensemble_size_sweep,
+        kwargs={"sizes": sizes, "epochs": 30, "shots": bench_scale["shots"] // 2, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: ensemble size sweep ===")
+    print(format_table(rows))
+
+    assert [row["ensemble_size"] for row in rows] == list(sizes)
+    throughput = {row["ensemble_size"]: row["epochs_per_hour"] for row in rows}
+    # adding devices increases throughput substantially end to end
+    assert throughput[10] > 3.0 * throughput[1]
+    # and is monotone-ish: the full fleet beats every prefix smaller than half
+    assert throughput[10] > throughput[2]
+    assert throughput[8] > throughput[1]

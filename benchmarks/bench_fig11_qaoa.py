@@ -1,0 +1,54 @@
+"""Figure 11 — QAOA MaxCut: eight single devices vs unweighted EQC."""
+
+from repro.analysis.reporting import format_series
+from repro.experiments.fig11_qaoa import QAOAExperimentConfig, render_fig11, run_fig11_qaoa
+
+
+def test_fig11_qaoa_maxcut(benchmark, bench_scale):
+    config = QAOAExperimentConfig(
+        iterations=bench_scale["qaoa_iterations"],
+        shots=bench_scale["shots"],
+        eqc_runs=bench_scale["eqc_runs"],
+        seed=11,
+    )
+    result = benchmark.pedantic(run_fig11_qaoa, args=(config,), rounds=1, iterations=1)
+
+    print("\n=== Figure 11: 4-node MaxCut QAOA, single devices vs unweighted EQC ===")
+    print(render_fig11(result))
+    eqc = result.eqc_history
+    problem = result.problem
+    print(
+        format_series(
+            "EQC cost",
+            eqc.epochs.tolist(),
+            [problem.normalized_cost(v) for v in eqc.losses],
+        )
+    )
+    for name, history in result.singles.items():
+        print(
+            format_series(
+                f"{name} cost",
+                history.epochs.tolist(),
+                [problem.normalized_cost(v) for v in history.losses],
+            )
+        )
+
+    # EQC's iteration throughput dwarfs the slowest machine and beats the fastest
+    rates = {name: h.epochs_per_hour() for name, h in result.singles.items()}
+    finished = {name: rate for name, rate in rates.items() if len(result.singles[name]) > 0}
+    eqc_rate = eqc.epochs_per_hour()
+    assert eqc_rate > max(finished.values())
+    assert eqc_rate > 20.0 * min(finished.values())
+
+    # every system improves on the initial cost, and costs live in [-1, 0]
+    for history in [eqc, *result.singles.values()]:
+        final_cost = problem.normalized_cost(history.final_loss(5))
+        assert -1.0 <= final_cost <= 0.0
+
+    # the unweighted EQC improves on its starting point and reaches a
+    # reasonable cut quality for p=1 QAOA under noise
+    initial_ratio = problem.approximation_ratio(problem.energy(
+        problem.random_initial_parameters(seed=config.seed)))
+    final_ratio = problem.approximation_ratio(eqc.final_loss(5))
+    assert final_ratio > initial_ratio
+    assert final_ratio > 0.45

@@ -1,0 +1,53 @@
+"""Figure 12 — weighted vs unweighted QAOA EQC and the best-cost ranking."""
+
+from repro.experiments.fig11_qaoa import QAOAExperimentConfig, run_fig11_qaoa
+from repro.experiments.fig12_weighted_qaoa import (
+    WeightedQAOAConfig,
+    render_fig12,
+    run_fig12_weighted_qaoa,
+)
+
+
+def test_fig12_weighted_qaoa(benchmark, bench_scale):
+    baseline = run_fig11_qaoa(
+        QAOAExperimentConfig(
+            iterations=bench_scale["qaoa_iterations"],
+            shots=bench_scale["shots"],
+            eqc_runs=1,
+            seed=11,
+            run_ideal_reference=False,
+        )
+    )
+    config = WeightedQAOAConfig(
+        iterations=bench_scale["qaoa_iterations"],
+        shots=bench_scale["shots"],
+        seed=11,
+    )
+    result = benchmark.pedantic(
+        run_fig12_weighted_qaoa,
+        kwargs={"config": config, "baseline": baseline},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Figure 12: weighted vs unweighted QAOA EQC ===")
+    print(render_fig12(result))
+
+    problem = result.problem()
+    best_costs = {
+        label: problem.normalized_cost(history.best_loss())
+        for label, history in result.runs.items()
+    }
+    print("best costs:", {k: round(v, 4) for k, v in best_costs.items()})
+
+    # all runs improve toward the cut; costs stay in range
+    assert all(-1.0 <= cost <= 0.0 for cost in best_costs.values())
+    # the best weighted configuration is at least as good as the unweighted one
+    # (small tolerance: the 2-parameter QAOA is noisy at this scale)
+    weighted_best = min(
+        cost for label, cost in best_costs.items() if label != "no weighting"
+    )
+    assert weighted_best <= best_costs["no weighting"] + 0.05
+    # the ranking table covers every single device plus the EQC variants
+    ranking = result.ranking_rows()
+    assert len(ranking) == len(result.runs) + len(baseline.singles) + 1

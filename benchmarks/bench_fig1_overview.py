@@ -1,0 +1,33 @@
+"""Figure 1 — motivating overview: error and run time, 3 devices vs EQC.
+
+This is a reduced Fig. 6 restricted to Casablanca, x2 and Bogota (the three
+devices of the paper's Figure 1), plotting VQE error rate and total run time.
+"""
+
+from repro.experiments.fig1_overview import fig1_overview, render_fig1
+from repro.experiments.fig6_vqe import VQEExperimentConfig, run_fig6_vqe
+
+
+def test_fig1_overview(benchmark, bench_scale):
+    config = VQEExperimentConfig(
+        epochs=min(100, bench_scale["vqe_epochs"]),
+        shots=bench_scale["shots"],
+        single_devices=("Casablanca", "x2", "Bogota"),
+        eqc_runs=1,
+        seed=17,
+    )
+    result = benchmark.pedantic(run_fig6_vqe, args=(config,), rounds=1, iterations=1)
+    rows = fig1_overview(result=result, devices=("Casablanca", "x2", "Bogota"))
+
+    print("\n=== Figure 1: VQE error rate and run time ===")
+    print(render_fig1(rows))
+
+    by_system = {row.system: row for row in rows}
+    # EQC finishes the same number of epochs much faster than any single device
+    assert by_system["EQC"].run_hours < min(
+        by_system[d].run_hours for d in ("Casablanca", "x2", "Bogota")
+    )
+    # and its error is not the worst of the group
+    assert by_system["EQC"].error_pct < max(
+        by_system[d].error_pct for d in ("Casablanca", "x2", "Bogota")
+    )

@@ -1,0 +1,14 @@
+"""Figure 3 — topology-dependent transpilation of the same circuit."""
+
+from repro.experiments.fig3_transpile import fig3_transpilation, render_fig3
+
+
+def test_fig3_transpilation(benchmark):
+    rows = benchmark(fig3_transpilation)
+    assert {row.device for row in rows} == {"Belem", "x2", "Manila"}
+    # the fully connected device never needs SWAPs; the T-shape does
+    by_device = {(r.device, r.circuit): r for r in rows}
+    assert by_device[("x2", "fig3_demo")].num_swaps == 0
+    assert by_device[("Belem", "fig3_demo")].num_swaps >= 1
+    print("\n=== Figure 3: transpilation cost per topology ===")
+    print(render_fig3(rows))

@@ -1,0 +1,31 @@
+"""Figure 5 — QPU weights (bounded to [0.5, 1.5]) tracked over 40 hours."""
+
+from repro.core.weighting import WeightBounds
+from repro.experiments.fig5_weights import fig5_weight_trace, render_fig5
+
+
+def test_fig5_weight_trace(benchmark):
+    result = benchmark.pedantic(
+        fig5_weight_trace,
+        kwargs={"duration_hours": 40.0, "step_hours": 1.0, "bounds": WeightBounds(0.5, 1.5)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Figure 5: QPU weight traces over 40 h (bounds [0.5, 1.5]) ===")
+    print(render_fig5(result))
+
+    assert len(result.times_hours) == 41
+    for device in result.device_names:
+        low, high = result.weight_range(device)
+        assert 0.5 - 1e-9 <= low <= high <= 1.5 + 1e-9
+    # weights actually move over time (real-time adaptivity) ...
+    varying = [
+        device
+        for device in result.device_names
+        if result.weight_range(device)[1] - result.weight_range(device)[0] > 0.05
+    ]
+    assert len(varying) >= 3
+    # ... and the device carrying the lowest average weight is one of the
+    # noisier/volatile members, never one of the clean line/T-shape devices
+    means = {device: result.mean_weight(device) for device in result.device_names}
+    assert min(means, key=means.get) not in {"Bogota", "Manila", "Quito", "Belem"}

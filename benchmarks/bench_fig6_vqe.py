@@ -1,0 +1,65 @@
+"""Figure 6 — the 4-qubit Heisenberg VQE: single devices vs EQC vs ideal.
+
+Regenerates both panels: the energy-vs-epoch traces (printed as a table of
+converged energies / errors / convergence epochs) and the epochs-per-hour
+comparison.  The assertions encode the paper's qualitative claims:
+
+* EQC trains an order of magnitude faster than the typical single device and
+  is faster than every device in the ensemble;
+* slow devices (Manhattan, Santiago) never finish and are terminated;
+* EQC's converged error lands near the best single devices and far below the
+  worst ones.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.experiments.fig6_vqe import VQEExperimentConfig, render_fig6, run_fig6_vqe
+
+
+def test_fig6_heisenberg_vqe(benchmark, bench_scale):
+    config = VQEExperimentConfig(
+        epochs=bench_scale["vqe_epochs"],
+        shots=bench_scale["shots"],
+        eqc_runs=bench_scale["eqc_runs"],
+        seed=7,
+    )
+    result = benchmark.pedantic(run_fig6_vqe, args=(config,), rounds=1, iterations=1)
+
+    print("\n=== Figure 6: 4-qubit Heisenberg VQE ===")
+    print(render_fig6(result))
+    epochs, mean, std = result.eqc_mean_curve()
+    print(format_series("EQC mean energy", epochs.tolist(), mean.tolist()))
+    print(format_series("EQC std", epochs.tolist(), std.tolist()))
+    print(format_series("ideal energy", result.ideal.epochs.tolist(), result.ideal.losses.tolist()))
+    for name, history in result.singles.items():
+        print(format_series(f"{name} energy", history.epochs.tolist(), history.losses.tolist()))
+
+    reference = result.ideal_solution_energy
+    eqc = result.eqc_mean_history
+
+    # --- throughput claims -------------------------------------------------
+    single_rates = {name: h.epochs_per_hour() for name, h in result.singles.items()}
+    eqc_rate = eqc.epochs_per_hour()
+    assert eqc_rate > max(single_rates.values()), "EQC must out-run every single device"
+    assert eqc_rate > 5.0 * np.median(list(single_rates.values())), (
+        "EQC should be several times faster than the typical device"
+    )
+
+    # --- termination claims ------------------------------------------------
+    assert result.singles["Manhattan"].terminated_early
+    assert result.singles["Santiago"].terminated_early
+
+    # --- error claims ------------------------------------------------------
+    eqc_error = eqc.error_vs(reference)
+    completed = {
+        name: h.error_vs(reference)
+        for name, h in result.singles.items()
+        if not h.terminated_early
+    }
+    assert eqc_error < 0.05, "EQC converges close to the ideal solution"
+    assert eqc_error < max(completed.values()), (
+        "EQC must beat the worst completed single device"
+    )
+    # EQC lands within striking distance of the best single device
+    assert eqc_error < min(completed.values()) + 0.05

@@ -1,0 +1,37 @@
+"""Section V speedup statistics — EQC throughput vs every single device.
+
+The paper's abstract summarizes the evaluation as an average 10.5x speedup
+(at least 5.2x, up to 86x).  Absolute factors depend on the simulated queue
+calibration; the assertions check the *shape*: a large average speedup, a
+minimum speedup well above 1, and a maximum in the tens-to-hundreds against
+the congested devices.
+"""
+
+from repro.experiments.fig6_vqe import VQEExperimentConfig, run_fig6_vqe
+from repro.experiments.speedup import render_speedup, speedup_from_result
+
+
+def test_speedup_summary(benchmark, bench_scale):
+    config = VQEExperimentConfig(
+        epochs=min(100, bench_scale["vqe_epochs"]),
+        shots=bench_scale["shots"],
+        single_devices=("x2", "Bogota", "Casablanca", "Toronto", "Santiago", "Manhattan"),
+        eqc_runs=1,
+        seed=23,
+    )
+
+    def run():
+        result = run_fig6_vqe(config)
+        return result, speedup_from_result(result)
+
+    result, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== Speedup summary (EQC vs single devices) ===")
+    print(render_speedup(summary))
+    print(summary.describe())
+
+    assert summary.min_speedup > 1.5, "EQC must beat even the fastest single device"
+    assert summary.average_speedup > 5.0
+    assert summary.max_speedup > 20.0, (
+        "the congested devices should show an order-of-magnitude-plus speedup"
+    )

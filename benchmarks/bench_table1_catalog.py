@@ -1,0 +1,10 @@
+"""Table I — regenerate the device catalog table."""
+
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+def test_table1_catalog(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 11
+    print("\n=== Table I: IBMQ platforms used for evaluation ===")
+    print(render_table1())

@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the resulting rows/series (the repository has no plotting dependencies, so
+"regenerating a figure" means producing its data in tabular form).
+
+Scale: the paper's VQE experiments run 250 epochs; the benchmarks default to
+a reduced-but-shape-preserving scale (see ``VQE_EPOCHS`` below — convergence
+happens well before the cut-off, so who-wins/by-how-much is unaffected) to
+keep the full harness runnable in minutes.  Set ``EQC_BENCH_FULL=1`` to run
+the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Paper scale: 250 VQE epochs, 3 EQC repetitions, 50 QAOA iterations.
+FULL_SCALE = os.environ.get("EQC_BENCH_FULL", "0") == "1"
+
+VQE_EPOCHS = 250 if FULL_SCALE else 120
+EQC_RUNS = 3 if FULL_SCALE else 2
+QAOA_ITERATIONS = 50
+SHOTS = 8192 if FULL_SCALE else 4096
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """The scale knobs shared by every benchmark."""
+    return {
+        "full": FULL_SCALE,
+        "vqe_epochs": VQE_EPOCHS,
+        "eqc_runs": EQC_RUNS,
+        "qaoa_iterations": QAOA_ITERATIONS,
+        "shots": SHOTS,
+    }

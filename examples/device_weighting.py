@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Inspecting devices and the PCorrect weighting system (paper Fig. 4/5).
+
+This example does not train anything; it explores the substrate the ensemble
+is built on:
+
+* the Table I device catalog and each device's topology,
+* how the same circuit transpiles onto different coupling maps,
+* the Eq. 2 ``PCorrect`` estimate for each device and how it degrades as the
+  calibration ages,
+* the GHZ validation of the analytic model (calculated vs observed error),
+* the normalized gradient weights the EQC master would assign right now.
+
+Run with::
+
+    python examples/device_weighting.py
+"""
+
+from __future__ import annotations
+
+from repro import estimate_p_correct, normalize_weights, WeightBounds
+from repro.analysis import format_table
+from repro.circuit import hardware_efficient_ansatz
+from repro.cloud import hours
+from repro.devices import DEFAULT_VQE_FLEET, build_qpu
+from repro.experiments.fig4_ghz import fig4_ghz_validation, render_fig4
+from repro.experiments.table1 import render_table1
+from repro.transpiler import transpile
+
+
+def main() -> None:
+    print("=== Table I: the simulated fleet ===")
+    print(render_table1())
+
+    circuit = hardware_efficient_ansatz(4)
+    print("\n=== Transpiling the Fig. 8 VQE ansatz onto each device ===")
+    rows = []
+    transpiled = {}
+    for name in DEFAULT_VQE_FLEET:
+        qpu = build_qpu(name)
+        result = transpile(circuit, qpu.topology)
+        transpiled[name] = (qpu, result)
+        rows.append(
+            {
+                "device": name,
+                "topology": qpu.topology.name,
+                "swaps": result.num_swaps,
+                "G1": result.footprint.num_single_qubit_gates,
+                "G2": result.footprint.num_two_qubit_gates,
+                "critical_depth": result.footprint.critical_depth,
+            }
+        )
+    print(format_table(rows))
+
+    print("\n=== PCorrect (Eq. 2) per device, fresh vs 12-hour-old calibration ===")
+    rows = []
+    p_fresh = {}
+    for name, (qpu, result) in transpiled.items():
+        fresh = estimate_p_correct(qpu.estimated_calibration(hours(0.02)), result.footprint)
+        stale = estimate_p_correct(qpu.estimated_calibration(hours(12.0)), result.footprint)
+        p_fresh[name] = fresh
+        rows.append({"device": name, "p_correct_fresh": fresh, "p_correct_12h": stale})
+    print(format_table(rows))
+
+    print("\n=== Gradient weights the master would assign (bounds [0.5, 1.5]) ===")
+    weights = normalize_weights(p_fresh, WeightBounds(0.5, 1.5))
+    print(format_table([{"device": k, "weight": v} for k, v in sorted(weights.items())]))
+
+    print("\n=== Fig. 4 validation: calculated vs observed GHZ error ===")
+    result = fig4_ghz_validation(shots=4096, repeats=2)
+    print(render_fig4(result))
+
+
+if __name__ == "__main__":
+    main()

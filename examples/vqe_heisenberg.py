@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The paper's Fig. 6 scenario at example scale: Heisenberg VQE on an ensemble.
+
+Reproduces the structure of the Fig. 6 evaluation — the ideal baseline,
+several independent single-device runs, and the EQC ensemble — and prints the
+energy traces, converged errors and epochs/hour, plus the fleet utilization
+report that motivates ensembling in the first place.
+
+Run with::
+
+    python examples/vqe_heisenberg.py            # ~2-3 minutes
+    python examples/vqe_heisenberg.py --epochs 250 --full-fleet   # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_series, format_table
+from repro.experiments.fig6_vqe import VQEExperimentConfig, render_fig6, run_fig6_vqe
+from repro.experiments.speedup import render_speedup, speedup_from_result
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=60, help="training epochs per system")
+    parser.add_argument("--shots", type=int, default=4096, help="shots per circuit")
+    parser.add_argument(
+        "--full-fleet",
+        action="store_true",
+        help="use the paper's 6 single devices and 10-device ensemble "
+        "(default: a reduced 3-device comparison)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    if args.full_fleet:
+        config = VQEExperimentConfig(
+            epochs=args.epochs, shots=args.shots, eqc_runs=2, seed=args.seed
+        )
+    else:
+        config = VQEExperimentConfig(
+            epochs=args.epochs,
+            shots=args.shots,
+            single_devices=("x2", "Bogota", "Casablanca"),
+            ensemble_devices=("x2", "Belem", "Quito", "Bogota", "Casablanca", "Lima"),
+            eqc_runs=1,
+            seed=args.seed,
+        )
+
+    print("Running the Heisenberg VQE experiment (this trains every system)...")
+    result = run_fig6_vqe(config)
+
+    print()
+    print(render_fig6(result))
+
+    print("\nEnergy traces (down-sampled):")
+    print(
+        format_series(
+            "ideal", result.ideal.epochs.tolist(), result.ideal.losses.tolist(), max_points=12
+        )
+    )
+    for name, history in result.singles.items():
+        print(
+            format_series(name, history.epochs.tolist(), history.losses.tolist(), max_points=12)
+        )
+    eqc = result.eqc_mean_history
+    print(format_series("EQC", eqc.epochs.tolist(), eqc.losses.tolist(), max_points=12))
+
+    print("\nSpeedup summary:")
+    print(render_speedup(speedup_from_result(result)))
+
+    print("\nFleet utilization during the EQC run:")
+    utilization = eqc.metadata["utilization"]
+    rows = [
+        {"device": name, **{k: v for k, v in stats.items()}}
+        for name, stats in utilization.items()
+    ]
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

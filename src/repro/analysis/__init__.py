@@ -1,0 +1,25 @@
+"""Analysis utilities: metrics, correlation statistics, text reporting."""
+
+from .correlation import CorrelationReport, correlate, linear_fit
+from .metrics import (
+    SpeedupSummary,
+    relative_error,
+    speedup,
+    speedup_summary,
+    throughput_table,
+)
+from .reporting import format_kv, format_series, format_table
+
+__all__ = [
+    "relative_error",
+    "speedup",
+    "SpeedupSummary",
+    "speedup_summary",
+    "throughput_table",
+    "CorrelationReport",
+    "correlate",
+    "linear_fit",
+    "format_table",
+    "format_series",
+    "format_kv",
+]

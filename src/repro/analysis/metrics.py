@@ -1,0 +1,89 @@
+"""Evaluation metrics: error rates, convergence, throughput, speedups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.history import TrainingHistory
+
+__all__ = [
+    "relative_error",
+    "speedup",
+    "SpeedupSummary",
+    "speedup_summary",
+    "throughput_table",
+]
+
+
+def relative_error(value: float, reference: float) -> float:
+    """``|value - reference| / |reference|`` (plain absolute error when the
+    reference is zero)."""
+    if reference == 0:
+        return abs(value - reference)
+    return abs(value - reference) / abs(reference)
+
+
+def speedup(fast_rate: float, slow_rate: float) -> float:
+    """Throughput ratio ``fast / slow`` (inf when the slow rate is zero)."""
+    if slow_rate <= 0:
+        return float("inf")
+    return fast_rate / slow_rate
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """EQC-vs-single-device speedup statistics (paper abstract / Section V)."""
+
+    eqc_epochs_per_hour: float
+    single_device_rates: Mapping[str, float]
+    average_speedup: float
+    min_speedup: float
+    max_speedup: float
+
+    def describe(self) -> str:
+        return (
+            f"EQC {self.eqc_epochs_per_hour:.2f} epochs/h; speedup "
+            f"avg {self.average_speedup:.1f}x, min {self.min_speedup:.1f}x, "
+            f"max {self.max_speedup:.1f}x over {len(self.single_device_rates)} devices"
+        )
+
+
+def speedup_summary(
+    eqc_history: TrainingHistory,
+    single_histories: Sequence[TrainingHistory],
+) -> SpeedupSummary:
+    """Aggregate the paper's headline speedup statistics from run histories."""
+    if not single_histories:
+        raise ValueError("need at least one single-device history")
+    eqc_rate = eqc_history.epochs_per_hour()
+    rates = {h.label: h.epochs_per_hour() for h in single_histories}
+    ratios = [speedup(eqc_rate, rate) for rate in rates.values() if np.isfinite(rate)]
+    finite = [r for r in ratios if np.isfinite(r)]
+    if not finite:
+        raise ValueError("no finite single-device rates to compare against")
+    return SpeedupSummary(
+        eqc_epochs_per_hour=eqc_rate,
+        single_device_rates=rates,
+        average_speedup=float(np.mean(finite)),
+        min_speedup=float(np.min(finite)),
+        max_speedup=float(np.max(finite)),
+    )
+
+
+def throughput_table(histories: Sequence[TrainingHistory]) -> list[dict[str, float | str]]:
+    """Per-run throughput rows (label, epochs, hours, epochs/hour)."""
+    rows: list[dict[str, float | str]] = []
+    for history in histories:
+        rows.append(
+            {
+                "label": history.label,
+                "epochs": float(len(history)),
+                "hours": history.total_hours(),
+                "epochs_per_hour": history.epochs_per_hour(),
+                "terminated_early": str(history.terminated_early),
+            }
+        )
+    return rows

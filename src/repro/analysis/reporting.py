@@ -1,0 +1,71 @@
+"""Plain-text reporting helpers used by benchmarks and examples.
+
+The benchmark harness regenerates the paper's tables and figure data as text
+(no plotting dependencies are available offline); these helpers render the
+rows/series consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_points: int = 20,
+) -> str:
+    """Render an (x, y) series compactly, down-sampling long traces."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    stride = max(1, n // max_points)
+    points = [
+        f"({xs[i]:.3g}, {ys[i]:.3g})" for i in range(0, n, stride)
+    ]
+    if (n - 1) % stride != 0:
+        points.append(f"({xs[-1]:.3g}, {ys[-1]:.3g})")
+    return f"{name}: " + " ".join(points)
+
+
+def format_kv(values: Mapping[str, object], float_format: str = "{:.4g}") -> str:
+    """Render a flat mapping as ``key=value`` pairs."""
+    parts = []
+    for key, value in values.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={float_format.format(value)}")
+        else:
+            parts.append(f"{key}={value}")
+    return ", ".join(parts)

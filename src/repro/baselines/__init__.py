@@ -1,0 +1,6 @@
+"""Baselines: single-device training and the ideal simulator reference."""
+
+from .ideal import IdealTrainer
+from .single_device import DEFAULT_TERMINATION_HOURS, SingleDeviceTrainer
+
+__all__ = ["IdealTrainer", "SingleDeviceTrainer", "DEFAULT_TERMINATION_HOURS"]

@@ -1,0 +1,115 @@
+"""Single-device VQA training: the paper's per-machine baselines.
+
+This is the workflow EQC replaces: one QPU, sequential stochastic gradient
+descent, every forward/backward circuit pair waiting in that device's queue.
+Its history shows both pathologies the paper documents — wall-clock times of
+days to months on slow or congested devices, and device-specific bias/drift
+pulling the learned parameters away from the ideal solution.
+
+Runs are terminated (like the paper's Manhattan/Santiago/Toronto experiments)
+when the virtual wall clock exceeds ``max_wall_hours``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cloud.clock import SECONDS_PER_HOUR
+from ..cloud.provider import CloudProvider
+from ..cloud.queueing import QueueModel
+from ..devices.catalog import build_qpu
+from ..devices.qpu import QPU
+from ..vqa.optimizer import AsgdRule
+from ..vqa.tasks import CyclicTaskQueue, vqe_task_cycle
+from ..core.client import EQCClientNode
+from ..core.history import EpochRecord, TrainingHistory
+from ..core.objective import VQAObjective
+
+__all__ = ["SingleDeviceTrainer", "DEFAULT_TERMINATION_HOURS"]
+
+#: The paper terminates single-device experiments after two weeks of training.
+DEFAULT_TERMINATION_HOURS = 14 * 24.0
+
+
+class SingleDeviceTrainer:
+    """Sequential SGD training of a VQA on one (noisy, queued) device."""
+
+    def __init__(
+        self,
+        objective: VQAObjective,
+        device_name: str,
+        shots: int = 8192,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+        max_wall_hours: float = DEFAULT_TERMINATION_HOURS,
+        queue_model: QueueModel | None = None,
+        qpu: QPU | None = None,
+    ) -> None:
+        self.objective = objective
+        self.qpu = qpu if qpu is not None else build_qpu(device_name)
+        queue_models = {self.qpu.name: queue_model} if queue_model is not None else None
+        self.provider = CloudProvider(
+            [self.qpu], queue_models=queue_models, seed=seed, shots=shots
+        )
+        self.client = EQCClientNode(
+            objective=objective, qpu=self.qpu, provider=self.provider, shots=shots
+        )
+        self.rule = AsgdRule(learning_rate=learning_rate)
+        self.max_wall_hours = float(max_wall_hours)
+        self.label = f"single[{self.qpu.name}]"
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        initial_parameters,
+        num_epochs: int,
+        task_queue: CyclicTaskQueue | None = None,
+        record_every: int = 1,
+    ) -> TrainingHistory:
+        """Run sequential single-device SGD for up to ``num_epochs`` epochs."""
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        theta = np.asarray(initial_parameters, dtype=float).copy()
+        queue = task_queue or vqe_task_cycle(self.objective.num_parameters)
+
+        history = TrainingHistory(
+            label=self.label,
+            device_names=(self.qpu.name,),
+            metadata={"learning_rate": self.rule.learning_rate},
+        )
+
+        now = 0.0
+        jobs = 0
+        for epoch in range(1, num_epochs + 1):
+            for _ in range(queue.cycle_length):
+                task = queue.next_task()
+                outcome = self.client.execute_task(
+                    task, theta=tuple(theta), submit_time=now, theta_version=jobs
+                )
+                jobs += 1
+                now = outcome.finish_time
+                index = task.parameter_index
+                theta[index] = self.rule.step(theta[index], outcome.gradient, weight=1.0)
+
+            if epoch % record_every == 0 or epoch == num_epochs:
+                history.add(
+                    EpochRecord(
+                        epoch=epoch,
+                        sim_time_hours=now / SECONDS_PER_HOUR,
+                        loss=self.objective.exact_loss(tuple(theta)),
+                        parameters=tuple(float(v) for v in theta),
+                    )
+                )
+            if now / SECONDS_PER_HOUR > self.max_wall_hours:
+                history.terminated_early = True
+                history.termination_reason = (
+                    f"exceeded {self.max_wall_hours:.0f} simulated hours "
+                    f"after {epoch} epochs"
+                )
+                break
+
+        history.total_updates = jobs
+        history.total_jobs = jobs
+        return history

@@ -1,0 +1,189 @@
+"""Circuit library: the ansatze and reference states used in the paper.
+
+* :func:`hardware_efficient_ansatz` — the 4-qubit VQE circuit of Fig. 8:
+  an RY+RZ full-Bloch-sphere rotation layer, a linear CNOT entangler, and a
+  second RY+RZ layer (16 parameters for 4 qubits).
+* :func:`qaoa_maxcut_ansatz` — the 2-parameter QAOA circuit of Fig. 10:
+  Hadamards, a ZZ cost layer over the graph edges (angle ``beta``), and an RX
+  mixer layer (angle ``alpha``).
+* :func:`ghz_state` — the n-qubit GHZ preparation used to validate the
+  ``PCorrect`` analytic model (Fig. 4).
+* :func:`linear_entangler_demo` — the small illustrative circuit of Fig. 3
+  used to show topology-dependent transpilation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .circuit import QuantumCircuit
+from .parameters import Parameter, ParameterVector
+
+__all__ = [
+    "hardware_efficient_ansatz",
+    "qaoa_maxcut_ansatz",
+    "ghz_state",
+    "linear_entangler_demo",
+    "qnn_encoder_ansatz",
+]
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    num_layers: int = 1,
+    measure: bool = True,
+    prefix: str = "theta",
+) -> QuantumCircuit:
+    """The hardware-efficient VQE ansatz of paper Fig. 8.
+
+    Each layer applies RY then RZ on every qubit, a linear chain of CNOTs
+    (``CNOT(0,1), CNOT(1,2), ...``), then RY and RZ on every qubit again.
+    For 4 qubits and one layer this yields 16 trainable parameters, matching
+    the paper's VQE experiment.
+
+    Args:
+        num_qubits: circuit width.
+        num_layers: number of (rotation, entangler, rotation) blocks.
+        measure: append measurements on all qubits when True.
+        prefix: name prefix for the generated parameters.
+
+    Returns:
+        A parameterized :class:`QuantumCircuit` with
+        ``4 * num_qubits * num_layers`` free parameters.
+    """
+    if num_qubits < 2:
+        raise ValueError("the hardware-efficient ansatz needs at least 2 qubits")
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    params = ParameterVector(prefix, 4 * num_qubits * num_layers)
+    qc = QuantumCircuit(num_qubits, name="hw_efficient_ansatz")
+    idx = 0
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            qc.ry(params[idx], q)
+            idx += 1
+        for q in range(num_qubits):
+            qc.rz(params[idx], q)
+            idx += 1
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+        for q in range(num_qubits):
+            qc.ry(params[idx], q)
+            idx += 1
+        for q in range(num_qubits):
+            qc.rz(params[idx], q)
+            idx += 1
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def qaoa_maxcut_ansatz(
+    num_qubits: int,
+    edges: Iterable[tuple[int, int]],
+    num_layers: int = 1,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """The QAOA MaxCut ansatz of paper Fig. 10.
+
+    One layer is: Hadamard on every qubit (first layer only), an RZZ cost
+    layer parameterized by ``beta`` applied on every graph edge, and an RX
+    mixer layer parameterized by ``alpha`` on every qubit.  With one layer
+    this has exactly 2 trainable parameters, as in the paper's experiment.
+
+    Args:
+        num_qubits: number of graph nodes / circuit qubits.
+        edges: undirected edges of the MaxCut graph (0-indexed).
+        num_layers: QAOA depth ``p``.
+        measure: append measurements on all qubits when True.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    edge_list = [(int(a), int(b)) for a, b in edges]
+    for a, b in edge_list:
+        if a == b:
+            raise ValueError("MaxCut graph must not contain self-loops")
+        if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise ValueError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
+    qc = QuantumCircuit(num_qubits, name="qaoa_maxcut_ansatz")
+    for q in range(num_qubits):
+        qc.h(q)
+    for layer in range(num_layers):
+        beta = Parameter(f"beta[{layer}]")
+        alpha = Parameter(f"alpha[{layer}]")
+        for a, b in edge_list:
+            qc.rzz(beta, a, b)
+        for q in range(num_qubits):
+            qc.rx(alpha, q)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def ghz_state(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """The n-qubit GHZ state preparation used in the Fig. 4 validation.
+
+    ``H`` on qubit 0 followed by a CNOT ladder; the ideal output distribution
+    is an even mixture of all-zeros and all-ones bitstrings, so any other
+    outcome witnesses a hardware error.
+    """
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    if measure:
+        qc.measure_all()
+    return qc
+
+
+def linear_entangler_demo(num_qubits: int = 4) -> QuantumCircuit:
+    """The illustrative circuit of paper Fig. 3.
+
+    A single RY rotation per qubit followed by a linear CNOT chain — small
+    enough to show, transpiled, how topology changes the SWAP overhead.
+    """
+    params = ParameterVector("u", num_qubits)
+    qc = QuantumCircuit(num_qubits, name="linear_entangler_demo")
+    for q in range(num_qubits):
+        qc.ry(params[q], q)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    qc.measure_all()
+    return qc
+
+
+def qnn_encoder_ansatz(
+    num_qubits: int,
+    features: Sequence[float],
+    num_layers: int = 1,
+    prefix: str = "w",
+) -> QuantumCircuit:
+    """A simple data-reuploading QNN circuit (paper Section III-A, QNN case).
+
+    Each layer encodes the classical feature vector with RX rotations and
+    applies a trainable RY+entangler block.  Used by the QNN task-decomposition
+    path of EQC (per-datapoint gradient parallelism).
+
+    Args:
+        num_qubits: circuit width; features are wrapped modulo ``num_qubits``.
+        features: classical input features encoded as RX angles.
+        num_layers: number of (encode, train) blocks.
+        prefix: name prefix for trainable parameters.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    params = ParameterVector(prefix, num_qubits * num_layers)
+    qc = QuantumCircuit(num_qubits, name="qnn_encoder")
+    idx = 0
+    for _ in range(num_layers):
+        for q in range(num_qubits):
+            qc.rx(float(features[q % len(features)]), q)
+        for q in range(num_qubits):
+            qc.ry(params[idx], q)
+            idx += 1
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+    qc.measure_all()
+    return qc

@@ -1,0 +1,61 @@
+"""Cloud job records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from ..simulator.result import ExecutionResult
+
+__all__ = ["JobStatus", "CloudJob"]
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of a cloud job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class CloudJob:
+    """One submission to a device: a batch of circuits with shared shots.
+
+    Attributes:
+        job_id: unique id assigned by the provider.
+        device_name: backend the job targets.
+        num_circuits: number of circuits in the batch.
+        shots: shots per circuit.
+        submit_time: simulation time the job entered the queue.
+        start_time: simulation time execution began.
+        finish_time: simulation time all results were available.
+        results: one :class:`ExecutionResult` per circuit (populated on
+            completion).
+    """
+
+    job_id: int
+    device_name: str
+    num_circuits: int
+    shots: int
+    submit_time: float
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    status: JobStatus = JobStatus.QUEUED
+    results: list[ExecutionResult] = field(default_factory=list)
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time spent waiting in the device queue."""
+        return max(0.0, self.start_time - self.submit_time)
+
+    @property
+    def execution_seconds(self) -> float:
+        """Time spent executing on the device."""
+        return max(0.0, self.finish_time - self.start_time)
+
+    @property
+    def turnaround_seconds(self) -> float:
+        """Submission-to-completion latency."""
+        return max(0.0, self.finish_time - self.submit_time)

@@ -1,0 +1,40 @@
+"""EQC: the ensembled quantum computing framework (the paper's contribution)."""
+
+from .client import EQCClientNode, GradientOutcome
+from .ensemble import EQCConfig, EQCEnsemble
+from .history import EpochRecord, TrainingHistory
+from .master import EQCMasterNode, MasterTelemetry
+from .objective import EnergyObjective, GradientJobSpec, QnnObjective, VQAObjective
+from .weighting import (
+    BOUNDS_MODERATE,
+    BOUNDS_TIGHT,
+    BOUNDS_WIDE,
+    UNWEIGHTED,
+    WeightBounds,
+    WeightingConfig,
+    estimate_p_correct,
+    normalize_weights,
+)
+
+__all__ = [
+    "EQCClientNode",
+    "GradientOutcome",
+    "EQCMasterNode",
+    "MasterTelemetry",
+    "EQCEnsemble",
+    "EQCConfig",
+    "EpochRecord",
+    "TrainingHistory",
+    "VQAObjective",
+    "EnergyObjective",
+    "QnnObjective",
+    "GradientJobSpec",
+    "estimate_p_correct",
+    "normalize_weights",
+    "WeightBounds",
+    "WeightingConfig",
+    "UNWEIGHTED",
+    "BOUNDS_TIGHT",
+    "BOUNDS_MODERATE",
+    "BOUNDS_WIDE",
+]

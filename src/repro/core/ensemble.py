@@ -1,0 +1,133 @@
+"""The EQC ensemble facade: one call from problem to training history.
+
+:class:`EQCEnsemble` wires together the whole stack — Table I devices, the
+cloud provider, one client node per device, and the master node — behind a
+single ``train`` call, which is the "virtualized quantum backend" interface
+the paper proposes.  :class:`EQCConfig` collects every knob the evaluation
+sweeps (fleet composition, shots, learning rate, weight bounds, seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.queueing import QueueModel
+from ..devices.catalog import DEFAULT_VQE_FLEET, build_fleet
+from ..devices.qpu import QPU
+from ..hamiltonian.expectation import EnergyEstimator
+from ..vqa.optimizer import AsgdRule
+from ..vqa.tasks import CyclicTaskQueue, vqe_task_cycle
+from .client import EQCClientNode
+from .history import TrainingHistory
+from .master import EQCMasterNode
+from .objective import EnergyObjective, VQAObjective
+from .weighting import BOUNDS_MODERATE, WeightBounds, WeightingConfig
+
+__all__ = ["EQCConfig", "EQCEnsemble"]
+
+
+@dataclass(frozen=True)
+class EQCConfig:
+    """Configuration of one EQC training run.
+
+    Attributes:
+        device_names: Table I devices forming the ensemble (default: the
+            10-device VQE fleet).
+        shots: measurement shots per circuit (the paper uses 8192).
+        learning_rate: ASGD step size ``alpha`` (the paper uses 0.1).
+        weight_bounds: weight normalization band; ``None`` disables weighting.
+        refresh_weights: recompute ``PCorrect`` at every job (True) or freeze
+            the values captured at ensemble formation (False, ablation).
+        seed: seed for the provider's queue randomness.
+        label: history label (defaults to an auto-generated description).
+        queue_models: optional per-device queue overrides.
+    """
+
+    device_names: tuple[str, ...] = DEFAULT_VQE_FLEET
+    shots: int = 8192
+    learning_rate: float = 0.1
+    weight_bounds: WeightBounds | None = BOUNDS_MODERATE
+    refresh_weights: bool = True
+    seed: int = 0
+    label: str = ""
+    queue_models: dict[str, QueueModel] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.device_names:
+            raise ValueError("the ensemble needs at least one device")
+        if self.shots < 1:
+            raise ValueError("shots must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        weighting = "unweighted" if self.weight_bounds is None else f"weights {self.weight_bounds}"
+        return f"EQC[{len(self.device_names)} devices, {weighting}]"
+
+
+class EQCEnsemble:
+    """A virtualized quantum backend built from a fleet of simulated QPUs."""
+
+    def __init__(self, objective: VQAObjective, config: EQCConfig | None = None) -> None:
+        self.config = config or EQCConfig()
+        self.objective = objective
+        self.fleet: list[QPU] = build_fleet(self.config.device_names)
+        self.provider = CloudProvider(
+            self.fleet,
+            queue_models=self.config.queue_models,
+            seed=self.config.seed,
+            shots=self.config.shots,
+        )
+        self.clients = [
+            EQCClientNode(
+                objective=objective,
+                qpu=qpu,
+                provider=self.provider,
+                shots=self.config.shots,
+            )
+            for qpu in self.fleet
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_estimator(
+        cls, estimator: EnergyEstimator, config: EQCConfig | None = None
+    ) -> "EQCEnsemble":
+        """Build an ensemble around a VQE/QAOA energy estimator."""
+        return cls(EnergyObjective(estimator), config)
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        return tuple(qpu.name for qpu in self.fleet)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        initial_parameters: Sequence[float],
+        num_epochs: int,
+        task_queue: CyclicTaskQueue | None = None,
+        record_every: int = 1,
+    ) -> TrainingHistory:
+        """Run asynchronous ensemble training and return its history."""
+        queue = task_queue or vqe_task_cycle(self.objective.num_parameters)
+        master = EQCMasterNode(
+            objective=self.objective,
+            clients=self.clients,
+            task_queue=queue,
+            rule=AsgdRule(learning_rate=self.config.learning_rate),
+            weighting=WeightingConfig(
+                bounds=self.config.weight_bounds,
+                refresh_on_every_update=self.config.refresh_weights,
+            ),
+            initial_parameters=np.asarray(initial_parameters, dtype=float),
+            label=self.config.describe(),
+        )
+        history = master.train(num_epochs=num_epochs, record_every=record_every)
+        history.metadata["utilization"] = self.provider.utilization_report()
+        return history

@@ -1,0 +1,204 @@
+"""The EQC master node (paper Algorithm 1).
+
+The master owns the global parameter vector, the cyclic task queue, and the
+weighting state.  It dispatches one task to every idle client, waits for the
+earliest in-flight job to finish (on the virtual clock), applies the weighted
+ASGD update with whatever parameter snapshot that gradient was computed from
+(gradient staleness is therefore real, exactly as in the asynchronous Ray
+implementation), refreshes the finishing client's weight from its latest
+``PCorrect``, and immediately hands that client the next task.
+
+An *epoch* completes every time ``cycle_length`` updates have been applied —
+the same bookkeeping the paper uses when it reports convergence epochs and
+epochs/hour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..cloud.clock import SECONDS_PER_HOUR
+from ..vqa.optimizer import AsgdRule, ParameterVectorState
+from ..vqa.tasks import CyclicTaskQueue
+from .client import EQCClientNode, GradientOutcome
+from .history import EpochRecord, TrainingHistory
+from .objective import VQAObjective
+from .weighting import WeightingConfig, normalize_weights
+
+__all__ = ["EQCMasterNode", "MasterTelemetry"]
+
+
+@dataclass
+class MasterTelemetry:
+    """Run-level counters the master accumulates (exposed for analysis)."""
+
+    updates_applied: int = 0
+    jobs_dispatched: int = 0
+    circuits_executed: int = 0
+    total_staleness: int = 0
+    max_staleness: int = 0
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average parameter-version lag between dispatch and update."""
+        if self.updates_applied == 0:
+            return 0.0
+        return self.total_staleness / self.updates_applied
+
+
+@dataclass(order=True)
+class _InFlight:
+    """One outstanding job, ordered by completion time for the event loop."""
+
+    finish_time: float
+    sequence: int
+    outcome: GradientOutcome = field(compare=False)
+    client: EQCClientNode = field(compare=False)
+
+
+class EQCMasterNode:
+    """Coordinates asynchronous VQA training over a quantum ensemble."""
+
+    def __init__(
+        self,
+        objective: VQAObjective,
+        clients: Sequence[EQCClientNode],
+        task_queue: CyclicTaskQueue,
+        rule: AsgdRule,
+        weighting: WeightingConfig,
+        initial_parameters: Sequence[float],
+        label: str = "EQC",
+        start_time: float = 0.0,
+    ) -> None:
+        if not clients:
+            raise ValueError("the ensemble needs at least one client node")
+        names = [client.name for client in clients]
+        if len(set(names)) != len(names):
+            raise ValueError("client names must be unique")
+        self.objective = objective
+        self.clients = list(clients)
+        self.task_queue = task_queue
+        self.rule = rule
+        self.weighting = weighting
+        self.label = label
+        self.state = ParameterVectorState(np.asarray(initial_parameters, dtype=float))
+        self.telemetry = MasterTelemetry()
+        self._start_time = float(start_time)
+        self._p_correct: dict[str, float] = {}
+        self._weights: dict[str, float] = {client.name: 1.0 for client in clients}
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_length(self) -> int:
+        return self.task_queue.cycle_length
+
+    @property
+    def current_weights(self) -> dict[str, float]:
+        """The most recently computed per-client weights."""
+        return dict(self._weights)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        num_epochs: int,
+        record_every: int = 1,
+    ) -> TrainingHistory:
+        """Run the asynchronous optimization for ``num_epochs`` epochs."""
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        if record_every < 1:
+            raise ValueError("record_every must be >= 1")
+
+        history = TrainingHistory(
+            label=self.label,
+            device_names=tuple(client.device_name for client in self.clients),
+            metadata={
+                "weighting": self.weighting.describe(),
+                "learning_rate": self.rule.learning_rate,
+                "num_clients": len(self.clients),
+            },
+        )
+
+        target_updates = num_epochs * self.cycle_length
+        pending: list[_InFlight] = []
+        sequence = 0
+        now = self._start_time
+
+        # Initial dispatch: one task per client (Algorithm 1's first loop).
+        for client in self.clients:
+            sequence += 1
+            heapq.heappush(pending, self._dispatch(client, now, sequence))
+
+        epoch_completed = 0
+        while self.telemetry.updates_applied < target_updates and pending:
+            item = heapq.heappop(pending)
+            now = max(now, item.finish_time)
+            outcome = item.outcome
+            client = item.client
+
+            # Refresh this client's PCorrect and rebuild the ensemble weights.
+            self._p_correct[client.name] = outcome.p_correct
+            if self.weighting.refresh_on_every_update or not self._weights_initialized():
+                self._weights = normalize_weights(self._p_correct, self.weighting.bounds)
+            weight = self._weights.get(client.name, 1.0)
+
+            # Weighted asynchronous update (Eq. 4 / Eq. 12).
+            staleness = self.state.version - outcome.theta_version
+            self.telemetry.total_staleness += max(0, staleness)
+            self.telemetry.max_staleness = max(self.telemetry.max_staleness, staleness)
+            self.state.apply(outcome.task.parameter_index, outcome.gradient, self.rule, weight)
+            self.telemetry.updates_applied += 1
+
+            # Epoch bookkeeping.
+            if self.telemetry.updates_applied % self.cycle_length == 0:
+                epoch_completed += 1
+                if epoch_completed % record_every == 0 or (
+                    self.telemetry.updates_applied >= target_updates
+                ):
+                    history.add(
+                        EpochRecord(
+                            epoch=epoch_completed,
+                            sim_time_hours=(now - self._start_time) / SECONDS_PER_HOUR,
+                            loss=self.objective.exact_loss(self.state.snapshot()),
+                            parameters=self.state.snapshot(),
+                            weights=dict(self._weights),
+                        )
+                    )
+
+            # Hand the finishing client its next task immediately.
+            if self.telemetry.updates_applied < target_updates:
+                sequence += 1
+                heapq.heappush(pending, self._dispatch(client, now, sequence))
+
+        history.total_updates = self.telemetry.updates_applied
+        history.total_jobs = self.telemetry.jobs_dispatched
+        history.metadata["mean_staleness"] = self.telemetry.mean_staleness
+        history.metadata["max_staleness"] = self.telemetry.max_staleness
+        history.metadata["circuits_executed"] = self.telemetry.circuits_executed
+        return history
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, client: EQCClientNode, now: float, sequence: int) -> _InFlight:
+        """Assign the next cyclic task to ``client`` at time ``now``."""
+        task = self.task_queue.next_task()
+        outcome = client.execute_task(
+            task,
+            theta=self.state.snapshot(),
+            submit_time=now,
+            theta_version=self.state.version,
+        )
+        self.telemetry.jobs_dispatched += 1
+        self.telemetry.circuits_executed += outcome.num_circuits
+        return _InFlight(
+            finish_time=outcome.finish_time,
+            sequence=sequence,
+            outcome=outcome,
+            client=client,
+        )
+
+    def _weights_initialized(self) -> bool:
+        return len(self._p_correct) == len(self.clients)

@@ -1,0 +1,165 @@
+"""Gradient objectives: what a client node actually runs for one task.
+
+A :class:`VQAObjective` turns a :class:`~repro.vqa.tasks.GradientTask` plus a
+parameter snapshot into a batch of bound circuits, and later turns the
+measured counts back into a scalar gradient.  Two concrete objectives cover
+the paper's applications:
+
+* :class:`EnergyObjective` — VQE and QAOA: forward/backward parameter-shift
+  circuits for every qubit-wise-commuting measurement group of the
+  Hamiltonian.
+* :class:`QnnObjective` — QNN training: a centre evaluation plus the
+  forward/backward pair for the assigned data point, combined through the
+  squared-loss chain rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..hamiltonian.expectation import EnergyEstimator
+from ..simulator.result import Counts
+from ..vqa.gradient import gradient_from_energies, shifted_parameter_vectors
+from ..vqa.qnn import QNNProblem
+from ..vqa.tasks import GradientTask
+
+__all__ = ["GradientJobSpec", "VQAObjective", "EnergyObjective", "QnnObjective"]
+
+
+@dataclass(frozen=True)
+class GradientJobSpec:
+    """The circuits a client must run to serve one gradient task.
+
+    ``template_keys[i]`` identifies the parameterized template circuit that
+    ``circuits[i]`` was bound from; clients use it to cache one transpilation
+    per template per device.
+    """
+
+    circuits: tuple[QuantumCircuit, ...]
+    template_keys: tuple[Hashable, ...]
+    templates: tuple[QuantumCircuit, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.circuits) == len(self.template_keys) == len(self.templates)):
+            raise ValueError("circuits, template_keys and templates must align")
+        if not self.circuits:
+            raise ValueError("a gradient job needs at least one circuit")
+
+
+class VQAObjective(ABC):
+    """Interface between the EQC scheduler and a concrete VQA loss."""
+
+    @property
+    @abstractmethod
+    def num_parameters(self) -> int:
+        """Number of trainable parameters."""
+
+    @abstractmethod
+    def build_job(self, task: GradientTask, theta: Sequence[float]) -> GradientJobSpec:
+        """Bound circuits needed to differentiate ``task`` at ``theta``."""
+
+    @abstractmethod
+    def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
+        """Recombine the measured counts (same order as the job) into d loss/d theta."""
+
+    @abstractmethod
+    def exact_loss(self, theta: Sequence[float]) -> float:
+        """Noise-free loss at ``theta`` (history tracking / convergence plots)."""
+
+
+class EnergyObjective(VQAObjective):
+    """VQE/QAOA objective: minimize ``<H>`` of a parameterized ansatz."""
+
+    def __init__(self, estimator: EnergyEstimator) -> None:
+        self.estimator = estimator
+        self._templates = tuple(estimator.template_circuits())
+        self._template_keys = tuple(
+            ("group", index) for index in range(len(self._templates))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.estimator.num_parameters
+
+    @property
+    def num_groups(self) -> int:
+        return self.estimator.num_groups
+
+    def build_job(self, task: GradientTask, theta: Sequence[float]) -> GradientJobSpec:
+        pair = shifted_parameter_vectors(theta, task.parameter_index)
+        forward = self.estimator.measurement_circuits(pair.forward)
+        backward = self.estimator.measurement_circuits(pair.backward)
+        circuits = tuple(forward) + tuple(backward)
+        keys = self._template_keys + self._template_keys
+        templates = self._templates + self._templates
+        return GradientJobSpec(circuits=circuits, template_keys=keys, templates=templates)
+
+    def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
+        groups = self.estimator.num_groups
+        if len(counts) != 2 * groups:
+            raise ValueError(
+                f"expected {2 * groups} Counts objects (forward+backward), got {len(counts)}"
+            )
+        energy_forward = self.estimator.energy_from_counts(counts[:groups])
+        energy_backward = self.estimator.energy_from_counts(counts[groups:])
+        return gradient_from_energies(energy_forward, energy_backward)
+
+    def exact_loss(self, theta: Sequence[float]) -> float:
+        return self.estimator.exact_energy(theta)
+
+
+class QnnObjective(VQAObjective):
+    """QNN objective: mean squared error of ``<Z_0>`` against +/-1 labels."""
+
+    def __init__(self, problem: QNNProblem) -> None:
+        self.problem = problem
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.problem.num_parameters
+
+    def _estimator(self, task: GradientTask) -> EnergyEstimator:
+        if task.data_index is None:
+            raise ValueError("QNN tasks must carry a data_index")
+        return self.problem.estimator_for(task.data_index)
+
+    def build_job(self, task: GradientTask, theta: Sequence[float]) -> GradientJobSpec:
+        estimator = self._estimator(task)
+        pair = shifted_parameter_vectors(theta, task.parameter_index)
+        centre = estimator.measurement_circuits(list(theta))
+        forward = estimator.measurement_circuits(pair.forward)
+        backward = estimator.measurement_circuits(pair.backward)
+        groups = estimator.num_groups
+        keys = tuple(
+            (task.data_index, "group", index % groups)
+            for index in range(3 * groups)
+        )
+        templates = tuple(estimator.template_circuits()) * 3
+        return GradientJobSpec(
+            circuits=tuple(centre) + tuple(forward) + tuple(backward),
+            template_keys=keys,
+            templates=templates,
+        )
+
+    def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
+        estimator = self._estimator(task)
+        groups = estimator.num_groups
+        if len(counts) != 3 * groups:
+            raise ValueError(
+                f"expected {3 * groups} Counts objects (centre+forward+backward), "
+                f"got {len(counts)}"
+            )
+        prediction = estimator.energy_from_counts(counts[:groups])
+        forward = estimator.energy_from_counts(counts[groups : 2 * groups])
+        backward = estimator.energy_from_counts(counts[2 * groups :])
+        inner = gradient_from_energies(forward, backward)
+        label = self.problem.dataset.labels[task.data_index]
+        return 2.0 * (prediction - label) * inner
+
+    def exact_loss(self, theta: Sequence[float]) -> float:
+        return self.problem.dataset_loss(theta)

@@ -1,0 +1,43 @@
+"""Simulated quantum devices: topologies, QPU models, and the Table I catalog."""
+
+from .catalog import (
+    DEFAULT_QAOA_FLEET,
+    DEFAULT_VQE_FLEET,
+    TABLE_I,
+    available_devices,
+    build_fleet,
+    build_qpu,
+    device_spec,
+)
+from .qpu import QPU, CircuitFootprint, QPUSpec
+from .topology import (
+    Topology,
+    fully_connected_topology,
+    h_shape_topology,
+    heavy_hex_topology,
+    line_topology,
+    manhattan_topology,
+    t_shape_topology,
+    toronto_topology,
+)
+
+__all__ = [
+    "Topology",
+    "line_topology",
+    "t_shape_topology",
+    "h_shape_topology",
+    "fully_connected_topology",
+    "heavy_hex_topology",
+    "toronto_topology",
+    "manhattan_topology",
+    "QPU",
+    "QPUSpec",
+    "CircuitFootprint",
+    "TABLE_I",
+    "DEFAULT_VQE_FLEET",
+    "DEFAULT_QAOA_FLEET",
+    "available_devices",
+    "device_spec",
+    "build_qpu",
+    "build_fleet",
+]

@@ -1,0 +1,220 @@
+"""The device catalog: the 11 IBMQ backends of the paper's Table I.
+
+Each entry pairs the public Table I attributes (qubit count, processor
+family, quantum volume, topology) with a noise profile, a drift profile and a
+speed profile chosen so that the *relative* behaviour of the fleet matches
+what the paper reports:
+
+* ``ibmq_x2`` (fully-connected Canary) — fastest per job but by far the
+  noisiest (high cross-talk), slowest to converge;
+* ``ibmq_bogota`` / ``ibmq_manila`` (QV32 line) — among the cleanest 5-qubit
+  devices;
+* ``ibmq_casablanca`` — fast and initially clean but prone to long noise
+  bursts after calibration (the Fig. 6 divergence);
+* ``ibmq_toronto`` — decent fidelity but wildly fluctuating throughput;
+* ``ibmq_santiago`` / ``ibm_manhattan`` — prohibitively slow (weeks/months per
+  VQE run), the experiments the paper had to terminate.
+
+Absolute values are simulator calibrations, not IBMQ measurements; see
+DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..noise.drift import DriftProfile
+from ..noise.generator import NoiseProfile
+from .qpu import QPU, QPUSpec
+from .topology import (
+    fully_connected_topology,
+    h_shape_topology,
+    line_topology,
+    manhattan_topology,
+    t_shape_topology,
+    toronto_topology,
+)
+
+__all__ = [
+    "TABLE_I",
+    "device_spec",
+    "available_devices",
+    "build_qpu",
+    "build_fleet",
+    "DEFAULT_VQE_FLEET",
+    "DEFAULT_QAOA_FLEET",
+]
+
+
+def _spec(
+    name: str,
+    num_qubits: int,
+    processor: str,
+    quantum_volume: int,
+    topology_factory,
+    *,
+    t1: float,
+    t2: float,
+    single_qubit_error: float,
+    cx_error: float,
+    readout_error: float,
+    crosstalk: float,
+    coherent_bias: float,
+    base_job_seconds: float,
+    drift: DriftProfile,
+    seed: int,
+) -> QPUSpec:
+    topology = topology_factory()
+    return QPUSpec(
+        name=name,
+        num_qubits=num_qubits,
+        processor=processor,
+        quantum_volume=quantum_volume,
+        topology=topology,
+        noise_profile=NoiseProfile(
+            t1=t1,
+            t2=t2,
+            single_qubit_error=single_qubit_error,
+            cx_error=cx_error,
+            readout_error=readout_error,
+            crosstalk=crosstalk,
+            coherent_bias=coherent_bias,
+        ),
+        drift_profile=drift,
+        base_job_seconds=base_job_seconds,
+        seed=seed,
+    )
+
+
+_CALM_DRIFT = DriftProfile(
+    drift_rate=0.015, oscillation_amplitude=0.05, burst_probability=0.05
+)
+_MODERATE_DRIFT = DriftProfile(
+    drift_rate=0.03, oscillation_amplitude=0.10, burst_probability=0.15
+)
+_VOLATILE_DRIFT = DriftProfile(
+    drift_rate=0.05,
+    oscillation_amplitude=0.20,
+    burst_probability=0.55,
+    burst_magnitude=4.0,
+    burst_duration_hours=8.0,
+)
+_THROUGHPUT_DRIFT = DriftProfile(
+    drift_rate=0.04,
+    oscillation_amplitude=0.35,
+    burst_probability=0.6,
+    burst_magnitude=8.0,
+    burst_duration_hours=10.0,
+)
+
+
+#: Table I of the paper, keyed by the short device name used in the figures.
+TABLE_I: Mapping[str, QPUSpec] = {
+    "Lima": _spec(
+        "Lima", 5, "Falcon r4T", 8, t_shape_topology,
+        t1=90e-6, t2=85e-6, single_qubit_error=5e-4, cx_error=1.5e-2,
+        readout_error=3.5e-2, crosstalk=0.004, coherent_bias=0.028,
+        base_job_seconds=40.0, drift=_MODERATE_DRIFT, seed=101,
+    ),
+    "x2": _spec(
+        "x2", 5, "Canary r1 (fully connected)", 8,
+        lambda: fully_connected_topology(5, name="x2_full"),
+        t1=55e-6, t2=45e-6, single_qubit_error=1.2e-3, cx_error=3.5e-2,
+        readout_error=5.5e-2, crosstalk=0.02, coherent_bias=0.050,
+        base_job_seconds=25.0, drift=_MODERATE_DRIFT, seed=102,
+    ),
+    "Belem": _spec(
+        "Belem", 5, "Falcon r4T", 16, t_shape_topology,
+        t1=95e-6, t2=100e-6, single_qubit_error=4e-4, cx_error=1.2e-2,
+        readout_error=2.8e-2, crosstalk=0.004, coherent_bias=-0.022,
+        base_job_seconds=30.0, drift=_CALM_DRIFT, seed=103,
+    ),
+    "Quito": _spec(
+        "Quito", 5, "Falcon r4T", 16, t_shape_topology,
+        t1=98e-6, t2=105e-6, single_qubit_error=3.5e-4, cx_error=1.0e-2,
+        readout_error=2.5e-2, crosstalk=0.004, coherent_bias=0.018,
+        base_job_seconds=35.0, drift=_CALM_DRIFT, seed=104,
+    ),
+    "Manila": _spec(
+        "Manila", 5, "Falcon r5.11L", 32, lambda: line_topology(5, name="manila_line"),
+        t1=120e-6, t2=80e-6, single_qubit_error=2.5e-4, cx_error=7e-3,
+        readout_error=2.2e-2, crosstalk=0.002, coherent_bias=-0.016,
+        base_job_seconds=38.0, drift=_CALM_DRIFT, seed=105,
+    ),
+    "Santiago": _spec(
+        "Santiago", 5, "Falcon r4L", 16, lambda: line_topology(5, name="santiago_line"),
+        t1=110e-6, t2=95e-6, single_qubit_error=3e-4, cx_error=8e-3,
+        readout_error=2.0e-2, crosstalk=0.002, coherent_bias=0.020,
+        base_job_seconds=450.0, drift=_MODERATE_DRIFT, seed=106,
+    ),
+    "Bogota": _spec(
+        "Bogota", 5, "Falcon r4L", 32, lambda: line_topology(5, name="bogota_line"),
+        t1=115e-6, t2=120e-6, single_qubit_error=2.5e-4, cx_error=7.5e-3,
+        readout_error=2.0e-2, crosstalk=0.002, coherent_bias=-0.027,
+        base_job_seconds=36.0, drift=_CALM_DRIFT, seed=107,
+    ),
+    "Lagos": _spec(
+        "Lagos", 7, "Falcon r5.11H", 32, h_shape_topology,
+        t1=130e-6, t2=110e-6, single_qubit_error=2.2e-4, cx_error=6.5e-3,
+        readout_error=1.8e-2, crosstalk=0.003, coherent_bias=0.014,
+        base_job_seconds=42.0, drift=_CALM_DRIFT, seed=108,
+    ),
+    "Casablanca": _spec(
+        "Casablanca", 7, "Falcon r4H", 32, h_shape_topology,
+        t1=105e-6, t2=90e-6, single_qubit_error=3.5e-4, cx_error=9e-3,
+        readout_error=2.6e-2, crosstalk=0.003, coherent_bias=0.030,
+        base_job_seconds=33.0, drift=_VOLATILE_DRIFT, seed=109,
+    ),
+    "Toronto": _spec(
+        "Toronto", 27, "Falcon r4", 32, toronto_topology,
+        t1=100e-6, t2=95e-6, single_qubit_error=3e-4, cx_error=1.1e-2,
+        readout_error=3.0e-2, crosstalk=0.003, coherent_bias=-0.024,
+        base_job_seconds=60.0, drift=_THROUGHPUT_DRIFT, seed=110,
+    ),
+    "Manhattan": _spec(
+        "Manhattan", 65, "Falcon r4 (Hummingbird-scale)", 32, manhattan_topology,
+        t1=95e-6, t2=90e-6, single_qubit_error=4e-4, cx_error=1.4e-2,
+        readout_error=3.2e-2, crosstalk=0.003, coherent_bias=-0.030,
+        base_job_seconds=4200.0, drift=_THROUGHPUT_DRIFT, seed=111,
+    ),
+}
+
+#: The 10-device ensemble used for the VQE evaluation (Fig. 6).  Manhattan is
+#: excluded from the default fleet because, as in the paper, its runs have to
+#: be terminated; it is still available for the single-device baselines.
+DEFAULT_VQE_FLEET: tuple[str, ...] = (
+    "Lima", "x2", "Belem", "Quito", "Manila", "Santiago", "Bogota",
+    "Lagos", "Casablanca", "Toronto",
+)
+
+#: The 8-device ensemble used for the QAOA evaluation (Fig. 11/12).
+DEFAULT_QAOA_FLEET: tuple[str, ...] = (
+    "Toronto", "Santiago", "Quito", "Lima", "Casablanca", "Bogota",
+    "Manila", "Belem",
+)
+
+
+def available_devices() -> tuple[str, ...]:
+    """The names of every catalogued device."""
+    return tuple(TABLE_I.keys())
+
+
+def device_spec(name: str) -> QPUSpec:
+    """Look up one Table I entry by name (case-insensitive)."""
+    for key, spec in TABLE_I.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown device {name!r}; available: {', '.join(TABLE_I)}"
+    )
+
+
+def build_qpu(name: str) -> QPU:
+    """Instantiate a simulated QPU for one catalogued device."""
+    return QPU(device_spec(name))
+
+
+def build_fleet(names: Iterable[str] | None = None) -> list[QPU]:
+    """Instantiate a list of QPUs (default: the 10-device VQE fleet)."""
+    selected = tuple(names) if names is not None else DEFAULT_VQE_FLEET
+    return [build_qpu(name) for name in selected]

@@ -1,0 +1,358 @@
+"""The simulated QPU: calibration lifecycle, drift, and noisy execution.
+
+A :class:`QPU` plays the role of one IBMQ backend.  It owns:
+
+* a static :class:`QPUSpec` (name, topology, quantum volume, noise and drift
+  profiles, speed characteristics — the Table I row),
+* a calibration lifecycle: every ``calibration_period_hours`` a fresh
+  :class:`~repro.noise.calibration.CalibrationSnapshot` is generated; the
+  *reported* snapshot is what clients see, while the *effective* noise drifts
+  away from it with calibration age,
+* an execution path: given a logical circuit and the footprint of its
+  transpiled form, the QPU computes its **true** probability of error-free
+  execution (including latent cross-talk and drift the estimator cannot see)
+  and produces sampled counts through the analytic mixing executor.
+
+The distinction between *reported* and *effective* calibration is the crux of
+the paper's Fig. 4/Fig. 5 observations and of the EQC weighting system: the
+estimator works from stale reported data, the hardware behaves according to
+its drifted reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..noise.calibration import CalibrationSnapshot
+from ..noise.drift import DriftModel, DriftProfile
+from ..noise.generator import CalibrationGenerator, NoiseProfile
+from ..simulator.mixing import MixingNoiseSpec, execute_with_mixing, noisy_probabilities
+from ..simulator.result import Counts, ExecutionResult
+from .topology import Topology
+
+__all__ = ["CircuitFootprint", "QPUSpec", "QPU", "SECONDS_PER_HOUR", "success_probability"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CircuitFootprint:
+    """Structural cost of a transpiled circuit on a particular device.
+
+    This is the information the ``PCorrect`` model (paper Eq. 2) consumes:
+    single- and two-qubit gate counts after routing, the critical depth, the
+    number of measurements, and which physical couplings/qubits are used.
+    """
+
+    num_single_qubit_gates: int
+    num_two_qubit_gates: int
+    critical_depth: int
+    num_measurements: int
+    used_qubits: tuple[int, ...] = ()
+    used_couplings: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_single_qubit_gates",
+            "num_two_qubit_gates",
+            "critical_depth",
+            "num_measurements",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: QuantumCircuit,
+        used_qubits: Sequence[int] | None = None,
+        used_couplings: Sequence[tuple[int, int]] | None = None,
+    ) -> "CircuitFootprint":
+        """Footprint of a circuit that is already expressed for the device."""
+        return cls(
+            num_single_qubit_gates=circuit.num_single_qubit_gates,
+            num_two_qubit_gates=circuit.num_two_qubit_gates,
+            critical_depth=circuit.critical_depth(),
+            num_measurements=circuit.num_measurements,
+            used_qubits=tuple(used_qubits or ()),
+            used_couplings=tuple(used_couplings or ()),
+        )
+
+
+@dataclass(frozen=True)
+class QPUSpec:
+    """Static description of one backend — a row of the paper's Table I."""
+
+    name: str
+    num_qubits: int
+    processor: str
+    quantum_volume: int
+    topology: Topology
+    noise_profile: NoiseProfile = field(default_factory=NoiseProfile)
+    drift_profile: DriftProfile = field(default_factory=DriftProfile)
+    #: Average wall-clock seconds to run one gradient job (two circuits) once
+    #: the job reaches the device, including classical overheads.
+    base_job_seconds: float = 30.0
+    #: Calibration cadence, hours.
+    calibration_period_hours: float = 24.0
+    #: How often the provider republishes measured device properties (T1/T2,
+    #: readout, gate errors) between full calibrations.  Client-side
+    #: ``PCorrect`` estimates can therefore track drift with at most this lag.
+    properties_refresh_hours: float = 2.0
+    #: Deterministic seed for this device's calibration / drift randomness.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_qubits != self.topology.num_qubits:
+            raise ValueError(
+                f"{self.name}: num_qubits={self.num_qubits} does not match "
+                f"topology width {self.topology.num_qubits}"
+            )
+        if self.base_job_seconds <= 0:
+            raise ValueError("base_job_seconds must be positive")
+        if self.calibration_period_hours <= 0:
+            raise ValueError("calibration_period_hours must be positive")
+
+
+class QPU:
+    """A stateful simulated quantum backend."""
+
+    def __init__(self, spec: QPUSpec) -> None:
+        self.spec = spec
+        self._generator = CalibrationGenerator(spec.noise_profile, spec.seed)
+        self._drift = DriftModel(spec.drift_profile, spec.seed)
+        self._rng = np.random.default_rng((spec.seed, 0xD1CE))
+
+    # ------------------------------------------------------------------
+    # identity / convenience
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.spec.num_qubits
+
+    @property
+    def topology(self) -> Topology:
+        return self.spec.topology
+
+    def __repr__(self) -> str:
+        return (
+            f"QPU({self.name!r}, qubits={self.num_qubits}, "
+            f"QV={self.spec.quantum_volume}, topology={self.topology.name!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # calibration lifecycle
+    # ------------------------------------------------------------------
+    def calibration_cycle(self, now: float) -> int:
+        """Index of the calibration cycle containing simulation time ``now``."""
+        period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
+        return max(0, int(float(now) // period))
+
+    def hours_since_calibration(self, now: float) -> float:
+        """Age of the current calibration, in hours."""
+        period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
+        return (float(now) % period) / SECONDS_PER_HOUR
+
+    def reported_calibration(self, now: float) -> CalibrationSnapshot:
+        """The calibration snapshot the provider publishes at time ``now``.
+
+        This is what EQC client nodes see; it does not change between
+        calibration events no matter how far the hardware drifts.
+        """
+        cycle = self.calibration_cycle(now)
+        period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
+        return self._generator.generate(
+            device_name=self.name,
+            num_qubits=self.num_qubits,
+            couplings=self.topology.directed_couplings,
+            timestamp=cycle * period,
+            cycle=cycle,
+        )
+
+    def effective_calibration(self, now: float) -> CalibrationSnapshot:
+        """The device's *actual* noise at time ``now`` (reported + drift)."""
+        reported = self.reported_calibration(now)
+        factor = self.drift_factor(now)
+        return reported.scale_errors(factor)
+
+    def estimated_calibration(self, now: float) -> CalibrationSnapshot:
+        """The freshest property data a client can obtain at time ``now``.
+
+        Between full calibrations the provider republishes measured device
+        properties every ``properties_refresh_hours``; the estimate therefore
+        tracks the true drift with a bounded lag, but it never sees latent
+        cross-talk or a burst that started after the last refresh — which is
+        the gap the Fig. 4 scatter quantifies.
+        """
+        reported = self.reported_calibration(now)
+        refresh = max(self.spec.properties_refresh_hours, 1e-6)
+        age = self.hours_since_calibration(now)
+        last_refresh_age = math.floor(age / refresh) * refresh
+        factor = self._drift.drift_factor(last_refresh_age, self.calibration_cycle(now))
+        return reported.scale_errors(factor)
+
+    def drift_factor(self, now: float) -> float:
+        """Multiplicative error inflation relative to the reported snapshot."""
+        return self._drift.drift_factor(
+            self.hours_since_calibration(now), self.calibration_cycle(now)
+        )
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def job_duration_seconds(self, now: float) -> float:
+        """Wall-clock seconds to execute one gradient job starting at ``now``.
+
+        The base device speed is slowed down by the drift model (noisy windows
+        come with retries and maintenance) — this is what makes Toronto-style
+        devices swing between 6.5 and 0.03 epochs/hour.
+        """
+        speed = self._drift.speed_factor(
+            self.hours_since_calibration(now), self.calibration_cycle(now)
+        )
+        return self.spec.base_job_seconds / max(speed, 1e-6)
+
+    # ------------------------------------------------------------------
+    # noisy execution
+    # ------------------------------------------------------------------
+    def true_success_probability(self, footprint: CircuitFootprint, now: float) -> float:
+        """Ground-truth probability the circuit runs without a fault.
+
+        Mirrors the structure of the paper's Eq. 2 but is evaluated on the
+        *effective* (drifted) calibration and includes the latent cross-talk
+        penalty of dense topologies; the estimator only ever approximates this
+        from the reported snapshot.
+        """
+        calibration = self.effective_calibration(now)
+        return success_probability(
+            calibration,
+            footprint,
+            crosstalk=self.spec.noise_profile.crosstalk,
+            connectivity=self.topology.average_degree,
+        )
+
+    def execution_noise(self, footprint: CircuitFootprint, now: float) -> MixingNoiseSpec:
+        """Noise specification for one execution at time ``now``.
+
+        The coherent over-rotation bias grows with the drift factor: a device
+        deep into a noisy window not only depolarizes more, it also behaves
+        *differently* from its calibrated self, which is what makes learned
+        parameters device-biased and what produces Casablanca-style
+        post-convergence divergence in the Fig. 6 reproduction.
+        """
+        calibration = self.effective_calibration(now)
+        success = self.true_success_probability(footprint, now)
+        per_qubit = tuple(
+            (q.readout_p01, q.readout_p10)
+            for q in calibration.qubits[: max(1, footprint.num_measurements)]
+        )
+        return MixingNoiseSpec(
+            success_probability=success,
+            per_qubit_readout=per_qubit,
+            coherent_bias=self.spec.noise_profile.coherent_bias * self.drift_factor(now),
+        )
+
+    def execute(
+        self,
+        circuit: QuantumCircuit,
+        footprint: CircuitFootprint,
+        shots: int,
+        now: float,
+        rng: np.random.Generator | None = None,
+    ) -> ExecutionResult:
+        """Run a bound logical circuit with this device's current noise.
+
+        Args:
+            circuit: the fully-bound *logical* circuit (4–5 qubits); the
+                statevector is simulated at this width.
+            footprint: structural cost of the circuit's transpiled form on
+                this device (drives the error magnitude).
+            shots: number of measurement shots.
+            now: simulation time (seconds) the job starts executing.
+            rng: randomness source; defaults to the device's own stream.
+        """
+        rng = rng if rng is not None else self._rng
+        noise = self.execution_noise(footprint, now)
+        counts = execute_with_mixing(circuit, noise, shots, rng)
+        duration = self.job_duration_seconds(now)
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            backend_name=self.name,
+            duration_seconds=duration,
+            metadata={
+                "success_probability": noise.success_probability,
+                "calibration_age_hours": self.hours_since_calibration(now),
+                "drift_factor": self.drift_factor(now),
+            },
+        )
+
+    def noisy_distribution(
+        self, circuit: QuantumCircuit, footprint: CircuitFootprint, now: float
+    ) -> np.ndarray:
+        """The exact (un-sampled) noisy outcome distribution at time ``now``."""
+        return noisy_probabilities(circuit, self.execution_noise(footprint, now))
+
+
+# ---------------------------------------------------------------------------
+# shared success-probability formula
+# ---------------------------------------------------------------------------
+
+def success_probability(
+    calibration: CalibrationSnapshot,
+    footprint: CircuitFootprint,
+    crosstalk: float = 0.0,
+    connectivity: float = 0.0,
+) -> float:
+    """Probability of an error-free run given a calibration and a footprint.
+
+    The functional form follows paper Eq. 2:
+
+    ``P = exp(-CD * (mu_g1 + mu_g2)/2 / (T1 * T2 normalized))
+        * (1 - gamma)^G1 * (1 - beta)^G2 * (1 - omega)^M``
+
+    with an extra ``(1 - crosstalk * connectivity/4)^G2`` latent term applied
+    only by the device truth model (``crosstalk=0`` reproduces Eq. 2 exactly,
+    which is what the estimator uses).
+    """
+    g1 = footprint.num_single_qubit_gates
+    g2 = footprint.num_two_qubit_gates
+    cd = footprint.critical_depth
+    m = footprint.num_measurements
+
+    mu_g1 = calibration.average_single_qubit_gate_time
+    mu_g2 = calibration.average_cx_gate_time or calibration.average_single_qubit_gate_time
+    t1 = calibration.average_t1
+    t2 = calibration.average_t2
+
+    # Decoherence along the critical path: each entangling layer exposes the
+    # register for roughly the average gate duration; the decay constant is
+    # the geometric combination of T1 and T2 (paper Eq. 2 writes T1*T2 — we
+    # use sqrt(T1*T2) so the exponent has dimensions of time over time).
+    exposure = cd * 0.5 * (mu_g1 + mu_g2)
+    decay_constant = math.sqrt(t1 * t2)
+    coherence_term = math.exp(-exposure / decay_constant) if decay_constant > 0 else 0.0
+
+    gamma = calibration.average_single_qubit_error
+    beta = calibration.average_cx_error
+    omega = calibration.average_readout_error
+
+    gate_term = ((1.0 - gamma) ** g1) * ((1.0 - beta) ** g2)
+    spam_term = (1.0 - omega) ** m
+
+    crosstalk_term = 1.0
+    if crosstalk > 0.0 and g2 > 0:
+        per_gate = min(1.0, crosstalk * max(connectivity, 1.0) / 4.0)
+        crosstalk_term = (1.0 - per_gate) ** g2
+
+    probability = coherence_term * gate_term * spam_term * crosstalk_term
+    return float(min(1.0, max(0.0, probability)))

@@ -1,0 +1,82 @@
+"""Figure 1 — the motivating overview: error rate and run time, 3 devices vs EQC.
+
+Figure 1 is a condensed view of the Fig. 6 experiment restricted to
+Casablanca, x2 and Bogota: the per-device VQE error relative to the ideal
+solution, the per-device run time in hours, and how EQC compares on both
+axes.  The driver simply runs (or accepts) a Fig. 6 result and extracts the
+three-device summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.reporting import format_table
+from .fig6_vqe import VQEExperimentConfig, VQEExperimentResult, run_fig6_vqe
+
+__all__ = ["Fig1Row", "fig1_overview", "render_fig1"]
+
+DEFAULT_DEVICES: tuple[str, ...] = ("Casablanca", "x2", "Bogota")
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One bar of each Fig. 1 panel."""
+
+    system: str
+    error_pct: float
+    run_hours: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "system": self.system,
+            "error_pct": self.error_pct,
+            "run_hours": self.run_hours,
+        }
+
+
+def fig1_overview(
+    result: VQEExperimentResult | None = None,
+    devices: Sequence[str] = DEFAULT_DEVICES,
+    epochs: int = 250,
+    eqc_runs: int = 1,
+    seed: int = 7,
+) -> list[Fig1Row]:
+    """Build the Fig. 1 rows, running a reduced Fig. 6 experiment if needed."""
+    if result is None:
+        result = run_fig6_vqe(
+            VQEExperimentConfig(
+                epochs=epochs,
+                single_devices=tuple(devices),
+                eqc_runs=eqc_runs,
+                seed=seed,
+            )
+        )
+    reference = result.ideal_solution_energy
+    rows: list[Fig1Row] = []
+    for device in devices:
+        if device not in result.singles:
+            continue
+        history = result.singles[device]
+        rows.append(
+            Fig1Row(
+                system=device,
+                error_pct=100.0 * history.error_vs(reference),
+                run_hours=history.total_hours(),
+            )
+        )
+    eqc = result.eqc_mean_history
+    rows.append(
+        Fig1Row(
+            system="EQC",
+            error_pct=100.0 * eqc.error_vs(reference),
+            run_hours=eqc.total_hours(),
+        )
+    )
+    return rows
+
+
+def render_fig1(rows: Sequence[Fig1Row]) -> str:
+    """Text rendering of the Fig. 1 overview."""
+    return format_table([row.as_dict() for row in rows])

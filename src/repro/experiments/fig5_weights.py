@@ -1,0 +1,99 @@
+"""Figure 5 — QPU weights tracked over 40 hours on seven devices.
+
+Every hour, each device's ``PCorrect`` is recomputed from its freshest
+published properties (Eq. 2 over the transpiled Fig. 8 circuit) and the
+ensemble's values are normalized into the configured weight band
+([0.5, 1.5] in the paper).  The trace shows the weighting system adapting in
+real time to calibration events, drift and noise bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import format_series
+from ..circuit.library import hardware_efficient_ansatz
+from ..cloud.clock import hours
+from ..core.weighting import WeightBounds, estimate_p_correct, normalize_weights
+from ..devices.catalog import build_qpu
+from ..transpiler.transpile import transpile
+
+__all__ = ["WeightTraceResult", "fig5_weight_trace", "render_fig5"]
+
+DEFAULT_DEVICES: tuple[str, ...] = (
+    "Belem", "Quito", "Casablanca", "Toronto", "Manila", "Bogota", "Lima",
+)
+
+
+@dataclass
+class WeightTraceResult:
+    """Hourly PCorrect and weight traces for a device fleet."""
+
+    times_hours: list[float]
+    p_correct: dict[str, list[float]]
+    weights: dict[str, list[float]]
+    bounds: WeightBounds
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        return tuple(self.weights.keys())
+
+    def weight_range(self, device: str) -> tuple[float, float]:
+        """Min/max weight a device received over the trace."""
+        series = self.weights[device]
+        return (float(min(series)), float(max(series)))
+
+    def mean_weight(self, device: str) -> float:
+        return float(np.mean(self.weights[device]))
+
+
+def fig5_weight_trace(
+    device_names: Sequence[str] = DEFAULT_DEVICES,
+    duration_hours: float = 40.0,
+    step_hours: float = 1.0,
+    bounds: WeightBounds = WeightBounds(0.5, 1.5),
+) -> WeightTraceResult:
+    """Compute the Fig. 5 weight traces for a fleet of devices."""
+    if duration_hours <= 0 or step_hours <= 0:
+        raise ValueError("duration and step must be positive")
+    circuit = hardware_efficient_ansatz(4)
+    qpus = {name: build_qpu(name) for name in device_names}
+    footprints = {
+        name: transpile(circuit, qpu.topology).footprint for name, qpu in qpus.items()
+    }
+
+    times = [
+        round(t, 6) for t in np.arange(0.0, duration_hours + 1e-9, step_hours)
+    ]
+    p_correct: dict[str, list[float]] = {name: [] for name in device_names}
+    weights: dict[str, list[float]] = {name: [] for name in device_names}
+
+    for t in times:
+        now = hours(t)
+        current = {
+            name: estimate_p_correct(qpu.estimated_calibration(now), footprints[name])
+            for name, qpu in qpus.items()
+        }
+        normalized = normalize_weights(current, bounds)
+        for name in device_names:
+            p_correct[name].append(float(current[name]))
+            weights[name].append(float(normalized[name]))
+
+    return WeightTraceResult(
+        times_hours=[float(t) for t in times],
+        p_correct=p_correct,
+        weights=weights,
+        bounds=bounds,
+    )
+
+
+def render_fig5(result: WeightTraceResult | None = None) -> str:
+    """Text rendering of the Fig. 5 weight traces."""
+    result = result if result is not None else fig5_weight_trace()
+    lines = [f"QPU weights normalized to {result.bounds} over {result.times_hours[-1]:.0f} h"]
+    for name in result.device_names:
+        lines.append(format_series(name, result.times_hours, result.weights[name], max_points=10))
+    return "\n".join(lines)

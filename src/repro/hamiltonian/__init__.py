@@ -1,0 +1,34 @@
+"""Observables: Pauli algebra, model Hamiltonians, and expectation estimation."""
+
+from .expectation import EnergyEstimator, exact_expectation, expectation_from_group_counts
+from .grouping import MeasurementGroup, group_qubitwise_commuting, measurement_basis_circuit
+from .heisenberg import SQUARE_LATTICE_EDGES, heisenberg_hamiltonian, heisenberg_square_lattice
+from .maxcut import (
+    RING_GRAPH_EDGES,
+    best_cut,
+    cut_value,
+    maxcut_graph,
+    maxcut_hamiltonian,
+    ring_maxcut_hamiltonian,
+)
+from .pauli import PauliString, PauliSum
+
+__all__ = [
+    "PauliString",
+    "PauliSum",
+    "MeasurementGroup",
+    "group_qubitwise_commuting",
+    "measurement_basis_circuit",
+    "EnergyEstimator",
+    "exact_expectation",
+    "expectation_from_group_counts",
+    "heisenberg_hamiltonian",
+    "heisenberg_square_lattice",
+    "SQUARE_LATTICE_EDGES",
+    "maxcut_hamiltonian",
+    "ring_maxcut_hamiltonian",
+    "maxcut_graph",
+    "cut_value",
+    "best_cut",
+    "RING_GRAPH_EDGES",
+]

@@ -1,0 +1,106 @@
+"""Expectation-value estimation: exact, from distributions, and from counts."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.parameters import Parameter
+from ..simulator.result import Counts
+from ..simulator.statevector import simulate_statevector
+from .grouping import MeasurementGroup, group_qubitwise_commuting, measurement_basis_circuit
+from .pauli import PauliSum
+
+__all__ = ["exact_expectation", "expectation_from_group_counts", "EnergyEstimator"]
+
+
+def exact_expectation(
+    circuit: QuantumCircuit,
+    hamiltonian: PauliSum,
+    parameter_values: Mapping[Parameter, float] | None = None,
+) -> float:
+    """Noise-free expectation ``<psi(theta)|H|psi(theta)>`` via statevector."""
+    prepared = circuit.without_measurements()
+    state = simulate_statevector(prepared, parameter_values)
+    return hamiltonian.expectation_from_statevector(state.data)
+
+
+def expectation_from_group_counts(
+    groups: Sequence[MeasurementGroup],
+    counts_per_group: Sequence[Counts | Mapping[str, int]],
+) -> float:
+    """Combine per-group measurement counts into one energy estimate."""
+    if len(groups) != len(counts_per_group):
+        raise ValueError("need exactly one Counts object per measurement group")
+    return float(
+        sum(group.expectation_from_counts(counts) for group, counts in zip(groups, counts_per_group))
+    )
+
+
+class EnergyEstimator:
+    """Pairs an ansatz with a Hamiltonian and produces measurable circuits.
+
+    The estimator is the piece both the ideal baseline and the EQC client
+    node share: it knows how to split ``H`` into qubit-wise commuting
+    measurement groups, how to build the basis-rotated circuit for each
+    group, and how to recombine the measured counts into an energy.
+    """
+
+    def __init__(self, ansatz: QuantumCircuit, hamiltonian: PauliSum) -> None:
+        if ansatz.num_qubits != hamiltonian.num_qubits:
+            raise ValueError(
+                "ansatz width does not match the Hamiltonian width "
+                f"({ansatz.num_qubits} vs {hamiltonian.num_qubits})"
+            )
+        self.ansatz = ansatz.without_measurements()
+        self.hamiltonian = hamiltonian
+        self.groups: tuple[MeasurementGroup, ...] = tuple(
+            group_qubitwise_commuting(hamiltonian)
+        )
+        self._group_tails = [measurement_basis_circuit(g.basis) for g in self.groups]
+        self.parameters = self.ansatz.ordered_parameters()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def bindings(self, values: Sequence[float]) -> dict[Parameter, float]:
+        """Map a flat parameter vector onto the ansatz parameters."""
+        if len(values) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} parameter values, got {len(values)}"
+            )
+        return dict(zip(self.parameters, (float(v) for v in values)))
+
+    def measurement_circuits(self, values: Sequence[float] | None = None) -> list[QuantumCircuit]:
+        """One bound (or parameterized) circuit per measurement group."""
+        circuits = []
+        for tail in self._group_tails:
+            circuit = self.ansatz.compose(tail)
+            if values is not None:
+                circuit = circuit.bind_parameters(self.bindings(values))
+            circuits.append(circuit)
+        return circuits
+
+    def template_circuits(self) -> list[QuantumCircuit]:
+        """The parameterized measurement circuits (one per group)."""
+        return self.measurement_circuits(values=None)
+
+    def energy_from_counts(self, counts_per_group: Sequence[Counts | Mapping[str, int]]) -> float:
+        """Energy estimate from one Counts object per measurement group."""
+        return expectation_from_group_counts(self.groups, counts_per_group)
+
+    def exact_energy(self, values: Sequence[float]) -> float:
+        """Noise-free energy of the ansatz at a parameter vector."""
+        return exact_expectation(self.ansatz, self.hamiltonian, self.bindings(values))
+
+    def ground_energy(self) -> float:
+        """Exact ground-state energy of the Hamiltonian."""
+        return self.hamiltonian.ground_state_energy()

@@ -1,0 +1,54 @@
+"""The 4-qubit Heisenberg model on a square lattice (paper Eq. 3).
+
+``H = J * sum_(i,j) (X_i X_j + Y_i Y_j + Z_i Z_j) + B * sum_i Z_i``
+
+with the paper's parameters ``J = B = 1`` and the 4-node ring
+``V = [1, 2, 3, 4]``, ``E = [(1,2), (2,3), (3,4), (1,4)]`` (0-indexed here).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .pauli import PauliString, PauliSum
+
+__all__ = ["SQUARE_LATTICE_EDGES", "heisenberg_hamiltonian", "heisenberg_square_lattice"]
+
+#: The paper's 4-node square lattice (ring), 0-indexed.
+SQUARE_LATTICE_EDGES: tuple[tuple[int, int], ...] = ((0, 1), (1, 2), (2, 3), (0, 3))
+
+
+def _pauli_on(num_qubits: int, assignments: dict[int, str], coefficient: float) -> PauliString:
+    label = "".join(assignments.get(q, "I") for q in range(num_qubits))
+    return PauliString(label, coefficient)
+
+
+def heisenberg_hamiltonian(
+    num_qubits: int,
+    edges: Iterable[tuple[int, int]],
+    coupling: float = 1.0,
+    field: float = 1.0,
+) -> PauliSum:
+    """Heisenberg spin Hamiltonian with a longitudinal field.
+
+    Args:
+        num_qubits: number of spins.
+        edges: interacting pairs (0-indexed).
+        coupling: spin-spin strength ``J``.
+        field: magnetic field ``B`` along Z.
+    """
+    terms: list[PauliString] = []
+    for a, b in edges:
+        a, b = int(a), int(b)
+        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise ValueError(f"invalid edge ({a}, {b}) for {num_qubits} qubits")
+        for axis in "XYZ":
+            terms.append(_pauli_on(num_qubits, {a: axis, b: axis}, coupling))
+    for q in range(num_qubits):
+        terms.append(_pauli_on(num_qubits, {q: "Z"}, field))
+    return PauliSum(terms).simplify()
+
+
+def heisenberg_square_lattice(coupling: float = 1.0, field: float = 1.0) -> PauliSum:
+    """The paper's 4-qubit Heisenberg model (Eq. 3 with the Fig. 6 lattice)."""
+    return heisenberg_hamiltonian(4, SQUARE_LATTICE_EDGES, coupling, field)

@@ -1,0 +1,15 @@
+"""Calibration data, calibration sampling, and time-dependent drift."""
+
+from .calibration import CalibrationSnapshot, GateCalibration, QubitCalibration
+from .drift import DriftModel, DriftProfile
+from .generator import CalibrationGenerator, NoiseProfile
+
+__all__ = [
+    "QubitCalibration",
+    "GateCalibration",
+    "CalibrationSnapshot",
+    "DriftProfile",
+    "DriftModel",
+    "NoiseProfile",
+    "CalibrationGenerator",
+]

@@ -1,0 +1,191 @@
+"""Quantum noise channels in Kraus form.
+
+These channels model the three NISQ error classes the paper enumerates
+(Section II-B):
+
+* **Coherence error** — amplitude damping (T1 relaxation) and phase damping
+  (T2 dephasing), parameterized by the gate duration relative to the decay
+  constants.
+* **Gate error** — depolarizing noise after each imperfect gate.
+* **SPAM error** — readout confusion applied classically to sampled bits
+  (see :func:`readout_confusion_matrix`).
+
+Channels are used by the Monte-Carlo trajectory simulator
+(:mod:`repro.simulator.trajectory`), which stochastically selects one Kraus
+operator per channel application.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "KrausChannel",
+    "depolarizing_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "bit_flip_channel",
+    "two_qubit_depolarizing_channel",
+    "readout_confusion_matrix",
+]
+
+_PAULI = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A completely-positive trace-preserving map given by Kraus operators."""
+
+    name: str
+    operators: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError("a channel needs at least one Kraus operator")
+        dim = self.operators[0].shape[0]
+        total = np.zeros((dim, dim), dtype=complex)
+        for op in self.operators:
+            if op.shape != (dim, dim):
+                raise ValueError("all Kraus operators must share one square shape")
+            total += op.conj().T @ op
+        if not np.allclose(total, np.eye(dim), atol=1e-8):
+            raise ValueError(f"channel {self.name!r} is not trace preserving")
+
+    @property
+    def num_qubits(self) -> int:
+        return int(round(math.log2(self.operators[0].shape[0])))
+
+    def is_identity(self, atol: float = 1e-12) -> bool:
+        """True when the channel is (numerically) the identity map."""
+        if len(self.operators) != 1:
+            return False
+        op = self.operators[0]
+        return np.allclose(op, np.eye(op.shape[0]), atol=atol)
+
+
+def _drop_zero_operators(ops) -> tuple[np.ndarray, ...]:
+    """Remove numerically-zero Kraus operators (keeps trajectory sampling cheap
+    and makes zero-probability channels recognizable as the identity)."""
+    kept = tuple(op for op in ops if np.linalg.norm(op) > 1e-14)
+    return kept if kept else tuple(ops[:1])
+
+
+def depolarizing_channel(probability: float) -> KrausChannel:
+    """Single-qubit depolarizing channel with error probability ``probability``.
+
+    With probability ``p`` one of X, Y, Z is applied uniformly at random.
+    """
+    p = _check_probability(probability)
+    ops = (
+        math.sqrt(1.0 - p) * _PAULI["I"],
+        math.sqrt(p / 3.0) * _PAULI["X"],
+        math.sqrt(p / 3.0) * _PAULI["Y"],
+        math.sqrt(p / 3.0) * _PAULI["Z"],
+    )
+    return KrausChannel("depolarizing", _drop_zero_operators(ops))
+
+
+def two_qubit_depolarizing_channel(probability: float) -> KrausChannel:
+    """Two-qubit depolarizing channel (uniform over the 15 non-identity Paulis)."""
+    p = _check_probability(probability)
+    labels = [a + b for a in "IXYZ" for b in "IXYZ"]
+    ops = []
+    for label in labels:
+        mat = np.kron(_PAULI[label[0]], _PAULI[label[1]])
+        if label == "II":
+            ops.append(math.sqrt(1.0 - p) * mat)
+        else:
+            ops.append(math.sqrt(p / 15.0) * mat)
+    return KrausChannel("depolarizing2q", _drop_zero_operators(ops))
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """T1 relaxation: |1> decays to |0> with probability ``gamma``."""
+    g = _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - g)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(g)], [0, 0]], dtype=complex)
+    return KrausChannel("amplitude_damping", _drop_zero_operators((k0, k1)))
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing: off-diagonal coherence shrinks by ``sqrt(1 - lam)``."""
+    p = _check_probability(lam)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - p)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(p)]], dtype=complex)
+    return KrausChannel("phase_damping", _drop_zero_operators((k0, k1)))
+
+
+def bit_flip_channel(probability: float) -> KrausChannel:
+    """Classical-style bit flip with probability ``probability``."""
+    p = _check_probability(probability)
+    k0 = math.sqrt(1 - p) * _PAULI["I"]
+    k1 = math.sqrt(p) * _PAULI["X"]
+    return KrausChannel("bit_flip", _drop_zero_operators((k0, k1)))
+
+
+def thermal_relaxation_channel(t1: float, t2: float, duration: float) -> KrausChannel:
+    """Combined T1/T2 decay over a gate of length ``duration``.
+
+    Follows the standard composition of amplitude damping with probability
+    ``1 - exp(-t/T1)`` and extra pure dephasing so the total coherence decay
+    matches ``exp(-t/T2)``.  Requires ``T2 <= 2 * T1`` (physical constraint).
+
+    Args:
+        t1: relaxation constant, in the same time unit as ``duration``.
+        t2: dephasing constant, same unit.
+        duration: gate/idle duration, same unit.
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("unphysical calibration: T2 must not exceed 2*T1")
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    gamma = 1.0 - math.exp(-duration / t1)
+    # Total off-diagonal decay must be exp(-t/T2); amplitude damping already
+    # contributes sqrt(1-gamma) = exp(-t/2T1).  The residual goes to pure
+    # dephasing.
+    total_coherence = math.exp(-duration / t2)
+    from_t1 = math.exp(-duration / (2.0 * t1))
+    residual = min(1.0, total_coherence / from_t1) if from_t1 > 0 else 0.0
+    lam = max(0.0, 1.0 - residual ** 2)
+
+    amp = amplitude_damping_channel(gamma)
+    deph = phase_damping_channel(lam)
+    # Compose the two channels: Kraus set of the composition is all products.
+    ops = tuple(
+        d @ a for a in amp.operators for d in deph.operators
+    )
+    # Drop numerically-zero operators to keep trajectory sampling cheap.
+    ops = tuple(op for op in ops if np.linalg.norm(op) > 1e-14)
+    return KrausChannel("thermal_relaxation", ops)
+
+
+def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:
+    """Per-qubit readout confusion matrix.
+
+    ``p01`` is the probability of reading 1 when the state was 0 and ``p10``
+    the probability of reading 0 when the state was 1.  The returned 2x2
+    matrix ``C`` maps true probabilities to observed probabilities via
+    ``observed = C @ true`` with rows indexed by the observed bit.
+    """
+    p01 = _check_probability(p01)
+    p10 = _check_probability(p10)
+    return np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=float)
+
+
+def _check_probability(p: float) -> float:
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability {p} outside [0, 1]")
+    return p

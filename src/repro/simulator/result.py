@@ -1,0 +1,119 @@
+"""Execution results: measurement counts and metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["Counts", "ExecutionResult"]
+
+
+class Counts(Mapping[str, int]):
+    """Measurement outcome histogram keyed by bitstring.
+
+    Bitstrings follow the library convention: character ``i`` is the outcome
+    of measured qubit ``i`` (qubit 0 leftmost).
+    """
+
+    def __init__(self, data: Mapping[str, int], shots: int | None = None) -> None:
+        clean: dict[str, int] = {}
+        for key, value in data.items():
+            if value < 0:
+                raise ValueError(f"negative count for outcome {key!r}")
+            if value:
+                clean[str(key)] = int(value)
+        widths = {len(k) for k in clean}
+        if len(widths) > 1:
+            raise ValueError("all bitstrings in a Counts object must share one width")
+        self._data = clean
+        self._shots = int(shots) if shots is not None else sum(clean.values())
+        if self._shots < sum(clean.values()):
+            raise ValueError("shots is smaller than the sum of counts")
+
+    # Mapping protocol -----------------------------------------------------
+    def __getitem__(self, key: str) -> int:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Counts({dict(sorted(self._data.items()))}, shots={self._shots})"
+
+    # ----------------------------------------------------------------------
+    @property
+    def shots(self) -> int:
+        """Total number of shots taken (may exceed the sum if some were lost)."""
+        return self._shots
+
+    @property
+    def num_bits(self) -> int:
+        """Width of the measured register (0 for an empty histogram)."""
+        return len(next(iter(self._data))) if self._data else 0
+
+    def probability(self, bitstring: str) -> float:
+        """Empirical probability of one outcome."""
+        if self._shots == 0:
+            return 0.0
+        return self._data.get(bitstring, 0) / self._shots
+
+    def probabilities(self) -> dict[str, float]:
+        """Empirical probabilities of every observed outcome."""
+        if self._shots == 0:
+            return {}
+        return {k: v / self._shots for k, v in self._data.items()}
+
+    def to_array(self) -> np.ndarray:
+        """Dense probability vector of length ``2**num_bits``."""
+        n = self.num_bits
+        vec = np.zeros(1 << n if n else 1, dtype=float)
+        for key, value in self._data.items():
+            vec[int(key, 2)] = value
+        total = vec.sum()
+        return vec / total if total > 0 else vec
+
+    def most_frequent(self) -> str:
+        """The most frequent outcome (ties broken lexicographically)."""
+        if not self._data:
+            raise ValueError("empty Counts has no most frequent outcome")
+        return min(self._data, key=lambda k: (-self._data[k], k))
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Combine two histograms of the same width."""
+        if self._data and other._data and self.num_bits != other.num_bits:
+            raise ValueError("cannot merge Counts of different widths")
+        merged = dict(self._data)
+        for key, value in other._data.items():
+            merged[key] = merged.get(key, 0) + value
+        return Counts(merged, shots=self._shots + other._shots)
+
+
+@dataclass
+class ExecutionResult:
+    """The full result of executing one circuit on a backend.
+
+    Attributes:
+        counts: measurement histogram.
+        shots: number of shots requested.
+        backend_name: device (or simulator) the job ran on.
+        duration_seconds: simulated wall-clock execution time (queue excluded).
+        queue_seconds: simulated time spent waiting in the device queue.
+        metadata: free-form extras (calibration age, success probability, ...).
+    """
+
+    counts: Counts
+    shots: int
+    backend_name: str = "ideal"
+    duration_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Queueing plus execution time."""
+        return self.duration_seconds + self.queue_seconds

@@ -1,0 +1,151 @@
+"""Shot sampling from probability distributions and statevectors."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from .result import Counts
+from .statevector import Statevector, simulate_statevector
+
+__all__ = [
+    "sample_distribution",
+    "sample_statevector",
+    "sample_circuit_ideal",
+    "apply_readout_error",
+    "distribution_to_counts",
+]
+
+
+def sample_distribution(
+    probabilities: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    num_bits: int | None = None,
+) -> Counts:
+    """Draw ``shots`` multinomial samples from a probability vector.
+
+    Args:
+        probabilities: vector of length ``2**num_bits``; it is re-normalized
+            defensively (floating-point drift is common after noise mixing).
+        shots: number of samples.
+        rng: NumPy random generator (callers own seeding policy).
+        num_bits: width of the output bitstrings; inferred from the vector
+            length when omitted.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1:
+        raise ValueError("probabilities must be a 1-D vector")
+    if np.any(probs < -1e-9):
+        raise ValueError("probabilities must be non-negative")
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    probs = probs / total
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if num_bits is None:
+        num_bits = max(1, int(np.round(np.log2(probs.size))))
+    if probs.size != (1 << num_bits):
+        raise ValueError(
+            f"probability vector of length {probs.size} does not match "
+            f"{num_bits} bits"
+        )
+    if shots == 0:
+        return Counts({}, shots=0)
+    draws = rng.multinomial(shots, probs)
+    data = {
+        format(index, f"0{num_bits}b"): int(count)
+        for index, count in enumerate(draws)
+        if count
+    }
+    return Counts(data, shots=shots)
+
+
+def sample_statevector(
+    state: Statevector,
+    shots: int,
+    rng: np.random.Generator,
+    qubits: Sequence[int] | None = None,
+) -> Counts:
+    """Sample measurement outcomes of (a subset of) a statevector."""
+    qubits = list(qubits) if qubits is not None else list(range(state.num_qubits))
+    probs = state.probabilities(qubits)
+    return sample_distribution(probs, shots, rng, num_bits=len(qubits))
+
+
+def sample_circuit_ideal(
+    circuit: QuantumCircuit,
+    shots: int,
+    rng: np.random.Generator,
+) -> Counts:
+    """Simulate a bound circuit ideally and sample its measured qubits."""
+    state = simulate_statevector(circuit)
+    measured = circuit.measured_qubits or tuple(range(circuit.num_qubits))
+    return sample_statevector(state, shots, rng, qubits=measured)
+
+
+def apply_readout_error(
+    probabilities: np.ndarray,
+    confusion_matrices: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Push a probability vector through per-qubit readout confusion matrices.
+
+    Args:
+        probabilities: length ``2**n`` vector over true outcomes.
+        confusion_matrices: one 2x2 column-stochastic matrix per measured bit,
+            ordered to match the bitstring convention (bit 0 first / most
+            significant).
+
+    Returns:
+        The observed-outcome probability vector, same length.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    n = len(confusion_matrices)
+    if probs.size != (1 << n):
+        raise ValueError("probability vector length does not match confusion matrices")
+    tensor = probs.reshape([2] * n) if n else probs
+    for bit, conf in enumerate(confusion_matrices):
+        conf = np.asarray(conf, dtype=float)
+        if conf.shape != (2, 2):
+            raise ValueError("each confusion matrix must be 2x2")
+        tensor = np.moveaxis(tensor, bit, 0)
+        shape = tensor.shape
+        tensor = conf @ tensor.reshape(2, -1)
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, 0, bit)
+    out = tensor.reshape(-1)
+    total = out.sum()
+    return out / total if total > 0 else out
+
+
+def distribution_to_counts(probabilities: np.ndarray, shots: int) -> Counts:
+    """Deterministically round a distribution into integer counts.
+
+    Used by tests and analytic baselines where sampling noise is unwanted.
+    The largest remainders absorb the rounding difference so the counts sum
+    exactly to ``shots``.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    probs = probs / total
+    raw = probs * shots
+    floors = np.floor(raw).astype(int)
+    remainder = shots - int(floors.sum())
+    if remainder > 0:
+        order = np.argsort(-(raw - floors))
+        for index in order[:remainder]:
+            floors[index] += 1
+    num_bits = max(1, int(np.round(np.log2(probs.size))))
+    data = {
+        format(index, f"0{num_bits}b"): int(count)
+        for index, count in enumerate(floors)
+        if count
+    }
+    return Counts(data, shots=shots)

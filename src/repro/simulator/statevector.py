@@ -1,0 +1,195 @@
+"""Dense statevector simulation.
+
+This is the ideal (noise-free) execution engine.  Circuits in this library
+are small (4–5 qubits for every experiment in the paper), so a dense
+``2**n`` complex vector with gate application via tensor reshaping is both
+simple and fast.
+
+Bit-ordering convention
+-----------------------
+Qubit 0 is the *most significant* bit of a basis-state label: for a 3-qubit
+register the basis state ``|q0 q1 q2>`` with ``q0=1, q1=0, q2=1`` is the
+string ``"101"`` and the amplitude index ``0b101 = 5``.  Measurement
+bitstrings produced by the samplers follow the same convention.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import gate_matrix
+from ..circuit.parameters import Parameter
+
+__all__ = ["Statevector", "simulate_statevector"]
+
+
+class Statevector:
+    """A normalized pure state of ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = int(num_qubits)
+        dim = 1 << self.num_qubits
+        if data is None:
+            vec = np.zeros(dim, dtype=complex)
+            vec[0] = 1.0
+        else:
+            vec = np.asarray(data, dtype=complex).reshape(dim).copy()
+            norm = np.linalg.norm(vec)
+            if norm == 0:
+                raise ValueError("statevector must not be the zero vector")
+            vec = vec / norm
+        self._vec = vec
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The amplitude vector (copy)."""
+        return self._vec.copy()
+
+    @property
+    def dim(self) -> int:
+        return self._vec.size
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self._vec)
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a unitary acting on ``qubits`` (in the given order) in place.
+
+        The matrix is expressed in the basis ``|qubits[0] qubits[1] ...>``
+        with ``qubits[0]`` the most significant bit of the local index.
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"matrix of shape {matrix.shape} does not act on {k} qubits"
+            )
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range")
+        if len(set(qubits)) != k:
+            raise ValueError("duplicate qubits in gate application")
+
+        n = self.num_qubits
+        # Reshape the state into an n-dimensional tensor, one axis per qubit;
+        # axis i corresponds to qubit i because qubit 0 is most significant.
+        tensor = self._vec.reshape([2] * n)
+        # Move target axes to the front, in order.
+        src = list(qubits)
+        dest = list(range(k))
+        tensor = np.moveaxis(tensor, src, dest)
+        tensor = tensor.reshape(1 << k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape([2] * k + [2] * (n - k))
+        tensor = np.moveaxis(tensor, dest, src)
+        self._vec = np.ascontiguousarray(tensor.reshape(-1))
+
+    def apply_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> None:
+        """Apply a named gate (parameters must be bound floats)."""
+        self.apply_matrix(gate_matrix(name, params), qubits)
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Measurement probabilities over ``qubits`` (default: all, in order).
+
+        The returned array has length ``2**len(qubits)`` and is indexed by
+        the integer whose binary expansion is ``qubits[0] qubits[1] ...``
+        (most significant first).
+        """
+        full = np.abs(self._vec) ** 2
+        if qubits is None or tuple(qubits) == tuple(range(self.num_qubits)):
+            return full
+        qubits = list(qubits)
+        n = self.num_qubits
+        tensor = full.reshape([2] * n)
+        keep = set(qubits)
+        trace_axes = tuple(ax for ax in range(n) if ax not in keep)
+        marg = tensor.sum(axis=trace_axes) if trace_axes else tensor
+        # marg axes are the kept qubits in increasing index order; reorder to
+        # follow the requested ordering.
+        order = np.argsort(np.argsort(qubits))
+        current = sorted(qubits)
+        perm = [current.index(q) for q in qubits]
+        marg = np.transpose(marg, perm)
+        del order  # explicit: only perm is needed
+        return marg.reshape(-1)
+
+    def expectation_pauli(self, pauli_label: str) -> float:
+        """Expectation value of a Pauli string such as ``"XZIY"``.
+
+        The label's character ``i`` acts on qubit ``i``.  Identity positions
+        may be written ``I``.
+        """
+        if len(pauli_label) != self.num_qubits:
+            raise ValueError(
+                f"Pauli label length {len(pauli_label)} does not match "
+                f"{self.num_qubits} qubits"
+            )
+        single = {
+            "I": np.eye(2, dtype=complex),
+            "X": gate_matrix("x"),
+            "Y": gate_matrix("y"),
+            "Z": gate_matrix("z"),
+        }
+        vec = self._vec
+        result = vec.copy()
+        tensor = result.reshape([2] * self.num_qubits)
+        for qubit, label in enumerate(pauli_label.upper()):
+            if label == "I":
+                continue
+            if label not in single:
+                raise ValueError(f"invalid Pauli character {label!r}")
+            mat = single[label]
+            tensor = np.moveaxis(tensor, qubit, 0)
+            shape = tensor.shape
+            tensor = mat @ tensor.reshape(2, -1)
+            tensor = tensor.reshape(shape)
+            tensor = np.moveaxis(tensor, 0, qubit)
+        transformed = tensor.reshape(-1)
+        value = np.vdot(vec, transformed)
+        return float(np.real(value))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Squared overlap ``|<self|other>|^2``."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("fidelity requires states of equal width")
+        return float(np.abs(np.vdot(self._vec, other._vec)) ** 2)
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit,
+    parameter_values: Mapping[Parameter, float] | None = None,
+) -> Statevector:
+    """Run a circuit on the ideal statevector simulator.
+
+    Measurement directives are ignored (the full final state is returned);
+    use :mod:`repro.simulator.sampler` to draw shots from it.
+
+    Args:
+        circuit: the circuit to simulate.
+        parameter_values: bindings for any free parameters.
+
+    Raises:
+        ValueError: if free parameters remain unbound.
+    """
+    bound = circuit if circuit.is_bound else circuit.bind_parameters(parameter_values or {})
+    if not bound.is_bound:
+        missing = ", ".join(p.name for p in bound.parameters)
+        raise ValueError(f"unbound parameters remain: {missing}")
+    state = Statevector(bound.num_qubits)
+    for inst in bound:
+        if not inst.is_unitary:
+            continue
+        params = tuple(float(p) for p in inst.params)
+        state.apply_gate(inst.name, inst.qubits, params)
+    return state

@@ -1,0 +1,217 @@
+"""Monte-Carlo trajectory simulation of noisy circuits.
+
+Each trajectory propagates a pure statevector through the circuit; after each
+gate, one Kraus operator of the relevant error channel is applied, selected
+stochastically with the Born-rule weights.  Averaging over many trajectories
+converges to the density-matrix evolution without ever materializing a
+``4**n`` density matrix.
+
+This simulator is exact but comparatively slow; the large EQC experiments use
+the analytic :mod:`repro.simulator.mixing` executor instead and reserve the
+trajectory engine for validation (the two agree on small circuits — see
+``tests/test_simulator/test_trajectory.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from .channels import (
+    KrausChannel,
+    depolarizing_channel,
+    readout_confusion_matrix,
+    thermal_relaxation_channel,
+    two_qubit_depolarizing_channel,
+)
+from .result import Counts
+from .sampler import apply_readout_error, sample_distribution
+from .statevector import Statevector
+
+__all__ = ["TrajectoryNoiseSpec", "MonteCarloSimulator"]
+
+
+@dataclass(frozen=True)
+class TrajectoryNoiseSpec:
+    """Gate-level noise parameters consumed by the trajectory simulator.
+
+    All durations are in seconds and decay constants in seconds; error rates
+    are probabilities per gate application.
+
+    Attributes:
+        single_qubit_error: depolarizing probability after each 1-qubit gate.
+        two_qubit_error: depolarizing probability after each 2-qubit gate.
+        t1: relaxation time constant (seconds).
+        t2: dephasing time constant (seconds).
+        single_qubit_gate_time: duration of a 1-qubit gate (seconds).
+        two_qubit_gate_time: duration of a 2-qubit gate (seconds).
+        readout_p01: probability of reading 1 when the qubit was 0.
+        readout_p10: probability of reading 0 when the qubit was 1.
+    """
+
+    single_qubit_error: float = 0.001
+    two_qubit_error: float = 0.02
+    t1: float = 100e-6
+    t2: float = 80e-6
+    single_qubit_gate_time: float = 35e-9
+    two_qubit_gate_time: float = 300e-9
+    readout_p01: float = 0.02
+    readout_p10: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("single_qubit_error", "two_qubit_error", "readout_p01", "readout_p10"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} outside [0, 1]")
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValueError("T1 and T2 must be positive")
+        if self.t2 > 2 * self.t1 + 1e-15:
+            raise ValueError("unphysical spec: T2 must not exceed 2*T1")
+
+
+@dataclass
+class _ChannelCache:
+    """Pre-built channels for one noise spec (avoids rebuilding per gate)."""
+
+    depol_1q: KrausChannel
+    depol_2q: KrausChannel
+    relax_1q: KrausChannel
+    relax_2q: KrausChannel
+    readout: list[np.ndarray] = field(default_factory=list)
+
+
+class MonteCarloSimulator:
+    """Noisy circuit execution by stochastic Kraus-operator trajectories."""
+
+    def __init__(self, noise: TrajectoryNoiseSpec, seed: int | None = None) -> None:
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self._cache = _ChannelCache(
+            depol_1q=depolarizing_channel(noise.single_qubit_error),
+            depol_2q=two_qubit_depolarizing_channel(noise.two_qubit_error),
+            relax_1q=thermal_relaxation_channel(
+                noise.t1, noise.t2, noise.single_qubit_gate_time
+            ),
+            relax_2q=thermal_relaxation_channel(
+                noise.t1, noise.t2, noise.two_qubit_gate_time
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        trajectories: int = 64,
+    ) -> Counts:
+        """Execute a bound circuit and return noisy measurement counts.
+
+        Args:
+            circuit: fully-bound circuit (measurements define readout qubits).
+            shots: total measurement shots, split evenly over trajectories.
+            trajectories: number of independent stochastic trajectories.
+        """
+        if not circuit.is_bound:
+            raise ValueError("circuit has unbound parameters")
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        trajectories = max(1, min(int(trajectories), shots))
+        measured = circuit.measured_qubits or tuple(range(circuit.num_qubits))
+        confusions = [
+            readout_confusion_matrix(self.noise.readout_p01, self.noise.readout_p10)
+            for _ in measured
+        ]
+        shots_per_traj = [shots // trajectories] * trajectories
+        for index in range(shots % trajectories):
+            shots_per_traj[index] += 1
+
+        merged = Counts({}, shots=0)
+        for traj_shots in shots_per_traj:
+            if traj_shots == 0:
+                continue
+            state = self._run_single_trajectory(circuit)
+            probs = state.probabilities(list(measured))
+            probs = apply_readout_error(probs, confusions)
+            counts = sample_distribution(probs, traj_shots, self._rng, num_bits=len(measured))
+            merged = merged.merge(counts)
+        return merged
+
+    def average_probabilities(
+        self, circuit: QuantumCircuit, trajectories: int = 128
+    ) -> np.ndarray:
+        """Trajectory-averaged outcome distribution over the measured qubits."""
+        if not circuit.is_bound:
+            raise ValueError("circuit has unbound parameters")
+        measured = circuit.measured_qubits or tuple(range(circuit.num_qubits))
+        confusions = [
+            readout_confusion_matrix(self.noise.readout_p01, self.noise.readout_p10)
+            for _ in measured
+        ]
+        acc = np.zeros(1 << len(measured), dtype=float)
+        for _ in range(max(1, trajectories)):
+            state = self._run_single_trajectory(circuit)
+            probs = state.probabilities(list(measured))
+            acc += apply_readout_error(probs, confusions)
+        return acc / max(1, trajectories)
+
+    # ------------------------------------------------------------------
+    def _run_single_trajectory(self, circuit: QuantumCircuit) -> Statevector:
+        state = Statevector(circuit.num_qubits)
+        for inst in circuit:
+            if not inst.is_unitary:
+                continue
+            params = tuple(float(p) for p in inst.params)
+            state.apply_gate(inst.name, inst.qubits, params)
+            if len(inst.qubits) == 1:
+                self._apply_channel(state, self._cache.depol_1q, inst.qubits)
+                self._apply_channel(state, self._cache.relax_1q, inst.qubits)
+            else:
+                self._apply_channel(state, self._cache.depol_2q, inst.qubits)
+                for qubit in inst.qubits:
+                    self._apply_channel(state, self._cache.relax_2q, (qubit,))
+        return state
+
+    def _apply_channel(
+        self, state: Statevector, channel: KrausChannel, qubits: Sequence[int]
+    ) -> None:
+        """Stochastically apply one Kraus operator of ``channel`` in place."""
+        if channel.is_identity():
+            return
+        if channel.num_qubits != len(qubits):
+            raise ValueError("channel arity does not match target qubits")
+        vec = state.data
+        # Compute Born weights <psi|K^dag K|psi> for each operator by applying
+        # K to the raw amplitude vector; pick one operator and renormalize.
+        weights = []
+        candidates = []
+        for op in channel.operators:
+            amp = _apply_matrix_raw(vec, op, qubits, state.num_qubits)
+            norm_sq = float(np.real(np.vdot(amp, amp)))
+            weights.append(norm_sq)
+            candidates.append(amp)
+        weights_arr = np.asarray(weights, dtype=float)
+        total = weights_arr.sum()
+        if total <= 0:
+            return
+        weights_arr = weights_arr / total
+        choice = self._rng.choice(len(candidates), p=weights_arr)
+        chosen = candidates[choice]
+        norm = np.linalg.norm(chosen)
+        state._vec = chosen / norm  # noqa: SLF001 - internal fast path
+
+
+def _apply_matrix_raw(
+    vec: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a (possibly non-unitary) matrix to an amplitude vector."""
+    k = len(qubits)
+    tensor = vec.reshape([2] * num_qubits)
+    tensor = np.moveaxis(tensor, list(qubits), list(range(k)))
+    tensor = tensor.reshape(1 << k, -1)
+    tensor = matrix @ tensor
+    tensor = tensor.reshape([2] * k + [2] * (num_qubits - k))
+    tensor = np.moveaxis(tensor, list(range(k)), list(qubits))
+    return np.ascontiguousarray(tensor.reshape(-1))

@@ -1,0 +1,20 @@
+"""Topology-aware transpilation to the IBMQ basis-gate set."""
+
+from .decompose import decompose_instruction, decompose_to_basis
+from .layout import Layout, select_layout
+from .metrics import circuit_footprint, swap_overhead
+from .routing import RoutingResult, route_circuit
+from .transpile import TranspileResult, transpile
+
+__all__ = [
+    "decompose_to_basis",
+    "decompose_instruction",
+    "Layout",
+    "select_layout",
+    "RoutingResult",
+    "route_circuit",
+    "circuit_footprint",
+    "swap_overhead",
+    "TranspileResult",
+    "transpile",
+]

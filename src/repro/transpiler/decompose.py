@@ -1,0 +1,100 @@
+"""Decomposition of logical gates into the IBMQ basis set.
+
+Every circuit sent to a device must be expressed in the device's native
+alphabet ``{ID, RZ, SX, X, CX}`` (paper Section II-A).  Single-qubit gates are
+rewritten through the standard ZSX Euler decomposition
+
+    ``U3(theta, phi, lam) = RZ(phi + pi) . SX . RZ(theta + pi) . SX . RZ(lam)``
+
+(up to global phase), and the remaining two-qubit gates are expanded into CNOT
+conjugations.  Decomposition only applies to *bound* gates when the angles are
+symbolic — parameterized RZ/RY/RX decompositions keep the parameter expression
+in the appropriate RZ slot so the transpiled template can still be bound later
+(which is exactly how the EQC client node reuses one transpilation across all
+parameter updates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import BASIS_GATES, Instruction
+from ..circuit.parameters import ParameterValue
+
+__all__ = ["decompose_to_basis", "decompose_instruction"]
+
+_PI = math.pi
+
+
+def _u3(qubit: int, theta: ParameterValue, phi: float, lam: float) -> list[Instruction]:
+    """ZSX decomposition of a U3 gate; ``theta`` may stay symbolic."""
+    if isinstance(theta, (int, float)):
+        middle: ParameterValue = float(theta) + _PI
+    else:
+        middle = theta + _PI
+    return [
+        Instruction("rz", (qubit,), (lam,)),
+        Instruction("sx", (qubit,)),
+        Instruction("rz", (qubit,), (middle,)),
+        Instruction("sx", (qubit,)),
+        Instruction("rz", (qubit,), (phi + _PI,)),
+    ]
+
+
+def decompose_instruction(inst: Instruction) -> list[Instruction]:
+    """Rewrite one instruction into basis gates (identity for basis gates)."""
+    name = inst.name
+    if name in BASIS_GATES or inst.spec.is_directive:
+        return [inst]
+
+    q = inst.qubits[0]
+    if name == "h":
+        return _u3(q, _PI / 2.0, 0.0, _PI)
+    if name == "y":
+        return _u3(q, _PI, _PI / 2.0, _PI / 2.0)
+    if name == "z":
+        return [Instruction("rz", (q,), (_PI,))]
+    if name == "s":
+        return [Instruction("rz", (q,), (_PI / 2.0,))]
+    if name == "sdg":
+        return [Instruction("rz", (q,), (-_PI / 2.0,))]
+    if name == "t":
+        return [Instruction("rz", (q,), (_PI / 4.0,))]
+    if name == "ry":
+        return _u3(q, inst.params[0], 0.0, 0.0)
+    if name == "rx":
+        return _u3(q, inst.params[0], -_PI / 2.0, _PI / 2.0)
+
+    if name == "cz":
+        control, target = inst.qubits
+        return (
+            _u3(target, _PI / 2.0, 0.0, _PI)
+            + [Instruction("cx", (control, target))]
+            + _u3(target, _PI / 2.0, 0.0, _PI)
+        )
+    if name == "swap":
+        a, b = inst.qubits
+        return [
+            Instruction("cx", (a, b)),
+            Instruction("cx", (b, a)),
+            Instruction("cx", (a, b)),
+        ]
+    if name == "rzz":
+        a, b = inst.qubits
+        return [
+            Instruction("cx", (a, b)),
+            Instruction("rz", (b,), (inst.params[0],)),
+            Instruction("cx", (a, b)),
+        ]
+    raise ValueError(f"no basis decomposition rule for gate {name!r}")
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a circuit entirely into the ``{id, rz, sx, x, cx}`` basis."""
+    out = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_basis")
+    for inst in circuit:
+        for piece in decompose_instruction(inst):
+            out.append(piece)
+    return out

@@ -1,0 +1,42 @@
+"""Transpilation metrics: the structural footprint EQC's weighting consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import is_two_qubit
+from ..devices.qpu import CircuitFootprint
+
+__all__ = ["circuit_footprint", "swap_overhead"]
+
+
+def circuit_footprint(circuit: QuantumCircuit) -> CircuitFootprint:
+    """Compute the :class:`CircuitFootprint` of a (routed) physical circuit.
+
+    ``used_qubits`` are the physical qubits touched by any gate or
+    measurement; ``used_couplings`` the physical pairs touched by a two-qubit
+    gate.  Both feed the per-qubit/per-pair terms of the weighting model.
+    """
+    used_qubits: set[int] = set()
+    used_couplings: set[tuple[int, int]] = set()
+    for inst in circuit:
+        if inst.is_barrier:
+            continue
+        used_qubits.update(inst.qubits)
+        if inst.is_unitary and is_two_qubit(inst.name):
+            a, b = inst.qubits[0], inst.qubits[1]
+            used_couplings.add((min(a, b), max(a, b)))
+    return CircuitFootprint(
+        num_single_qubit_gates=circuit.num_single_qubit_gates,
+        num_two_qubit_gates=circuit.num_two_qubit_gates,
+        critical_depth=circuit.critical_depth(),
+        num_measurements=circuit.num_measurements,
+        used_qubits=tuple(sorted(used_qubits)),
+        used_couplings=tuple(sorted(used_couplings)),
+    )
+
+
+def swap_overhead(logical: QuantumCircuit, routed: QuantumCircuit) -> int:
+    """Extra CNOTs the routed circuit pays compared to the logical circuit."""
+    return routed.num_two_qubit_gates - logical.num_two_qubit_gates

@@ -1,0 +1,40 @@
+"""Variational quantum algorithms: gradients, optimizers, VQE/QAOA/QNN problems."""
+
+from .gradient import (
+    PARAMETER_SHIFT,
+    ShiftedPair,
+    exact_full_gradient,
+    exact_parameter_shift_gradient,
+    gradient_from_energies,
+    shifted_parameter_vectors,
+)
+from .optimizer import AsgdRule, ParameterVectorState, clip_gradient, initial_parameters
+from .qaoa import QAOAProblem, ring_maxcut_qaoa_problem
+from .qnn import QNNDataset, QNNProblem, make_synthetic_dataset, two_moons_like_dataset
+from .tasks import CyclicTaskQueue, GradientTask, qnn_task_cycle, vqe_task_cycle
+from .vqe import VQEProblem, heisenberg_vqe_problem
+
+__all__ = [
+    "PARAMETER_SHIFT",
+    "ShiftedPair",
+    "shifted_parameter_vectors",
+    "gradient_from_energies",
+    "exact_parameter_shift_gradient",
+    "exact_full_gradient",
+    "AsgdRule",
+    "ParameterVectorState",
+    "clip_gradient",
+    "initial_parameters",
+    "VQEProblem",
+    "heisenberg_vqe_problem",
+    "QAOAProblem",
+    "ring_maxcut_qaoa_problem",
+    "QNNProblem",
+    "QNNDataset",
+    "make_synthetic_dataset",
+    "two_moons_like_dataset",
+    "GradientTask",
+    "CyclicTaskQueue",
+    "vqe_task_cycle",
+    "qnn_task_cycle",
+]

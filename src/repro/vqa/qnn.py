@@ -1,0 +1,159 @@
+"""Quantum neural network training task (paper Section III-A, QNN case).
+
+The paper's third VQA family distributes gradients at the *dataset* level:
+each parallel job computes the gradient of the loss for one data point with
+respect to one target parameter, and the master averages the returned
+gradients.  This module provides a compact binary-classification QNN — a
+data-reuploading circuit whose ``<Z_0>`` readout is trained against +/-1
+labels with a squared loss — plus a synthetic dataset generator so the task
+decomposition and the EQC scheduler can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.library import qnn_encoder_ansatz
+from ..hamiltonian.expectation import EnergyEstimator
+from ..hamiltonian.pauli import PauliString, PauliSum
+
+__all__ = ["QNNDataset", "QNNProblem", "make_synthetic_dataset", "two_moons_like_dataset"]
+
+
+@dataclass(frozen=True)
+class QNNDataset:
+    """A small supervised dataset with features in radians and labels in {-1, +1}."""
+
+    features: tuple[tuple[float, ...], ...]
+    labels: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.features) != len(self.labels):
+            raise ValueError("features and labels must have the same length")
+        if not self.features:
+            raise ValueError("dataset must not be empty")
+        widths = {len(x) for x in self.features}
+        if len(widths) != 1:
+            raise ValueError("all feature vectors must share one dimension")
+        for label in self.labels:
+            if label not in (-1, 1):
+                raise ValueError("labels must be -1 or +1")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def feature_dimension(self) -> int:
+        return len(self.features[0])
+
+
+def make_synthetic_dataset(
+    num_samples: int = 16,
+    feature_dimension: int = 4,
+    seed: int = 3,
+) -> QNNDataset:
+    """A linearly-separable synthetic dataset encoded as rotation angles."""
+    if num_samples < 2:
+        raise ValueError("need at least two samples")
+    rng = np.random.default_rng(seed)
+    features = []
+    labels = []
+    for _ in range(num_samples):
+        x = rng.uniform(-np.pi / 2, np.pi / 2, size=feature_dimension)
+        label = 1 if float(np.sum(x)) >= 0 else -1
+        features.append(tuple(float(v) for v in x))
+        labels.append(label)
+    return QNNDataset(tuple(features), tuple(labels))
+
+
+def two_moons_like_dataset(num_samples: int = 24, seed: int = 5) -> QNNDataset:
+    """A non-linearly-separable 2-D dataset lifted to 4 encoded angles."""
+    rng = np.random.default_rng(seed)
+    features = []
+    labels = []
+    for index in range(num_samples):
+        label = 1 if index % 2 == 0 else -1
+        angle = rng.uniform(0, np.pi)
+        radius = 1.0 + rng.normal(0, 0.1)
+        x = radius * np.cos(angle) + (0.5 if label < 0 else -0.5)
+        y = radius * np.sin(angle) * label
+        encoded = (x, y, x * y, x - y)
+        features.append(tuple(float(np.clip(v, -np.pi, np.pi)) for v in encoded))
+        labels.append(label)
+    return QNNDataset(tuple(features), tuple(labels))
+
+
+@dataclass
+class QNNProblem:
+    """A QNN classification instance trained on ``<Z_0>`` readout."""
+
+    name: str
+    dataset: QNNDataset
+    num_qubits: int = 4
+    num_layers: int = 1
+    readout: PauliSum = field(init=False)
+    _estimators: dict[int, EnergyEstimator] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        label = "Z" + "I" * (self.num_qubits - 1)
+        self.readout = PauliSum([PauliString(label, 1.0)])
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.num_qubits * self.num_layers
+
+    def estimator_for(self, data_index: int) -> EnergyEstimator:
+        """The (cached) estimator whose ansatz encodes one data point."""
+        if data_index not in self._estimators:
+            features = self.dataset.features[data_index]
+            ansatz = qnn_encoder_ansatz(
+                self.num_qubits, features, num_layers=self.num_layers
+            ).without_measurements()
+            self._estimators[data_index] = EnergyEstimator(ansatz, self.readout)
+        return self._estimators[data_index]
+
+    def prediction(self, values: Sequence[float], data_index: int) -> float:
+        """Model output ``<Z_0>`` in [-1, 1] for one data point."""
+        return self.estimator_for(data_index).exact_energy(values)
+
+    def sample_loss(self, values: Sequence[float], data_index: int) -> float:
+        """Squared error of one data point."""
+        target = self.dataset.labels[data_index]
+        return (self.prediction(values, data_index) - target) ** 2
+
+    def dataset_loss(self, values: Sequence[float]) -> float:
+        """Mean squared error over the dataset (the quantity being minimized)."""
+        losses = [self.sample_loss(values, i) for i in range(len(self.dataset))]
+        return float(np.mean(losses))
+
+    def accuracy(self, values: Sequence[float]) -> float:
+        """Fraction of samples whose sign of ``<Z_0>`` matches the label."""
+        correct = 0
+        for index, label in enumerate(self.dataset.labels):
+            predicted = 1 if self.prediction(values, index) >= 0 else -1
+            correct += int(predicted == label)
+        return correct / len(self.dataset)
+
+    def sample_gradient(
+        self, values: Sequence[float], parameter_index: int, data_index: int
+    ) -> float:
+        """Exact chain-rule gradient of one sample's loss for one parameter.
+
+        ``d loss / d theta = 2 (prediction - label) * d prediction / d theta``
+        with the inner derivative obtained by the parameter-shift rule.
+        """
+        from .gradient import exact_parameter_shift_gradient
+
+        estimator = self.estimator_for(data_index)
+        prediction = estimator.exact_energy(values)
+        inner = exact_parameter_shift_gradient(estimator, values, parameter_index)
+        return 2.0 * (prediction - self.dataset.labels[data_index]) * inner
+
+    def random_initial_parameters(self, seed: int = 13, scale: float = 0.1) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-scale, scale, size=self.num_parameters)

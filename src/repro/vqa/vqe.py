@@ -1,0 +1,82 @@
+"""The Variational Quantum Eigensolver problem definition.
+
+A :class:`VQEProblem` bundles everything a trainer (ideal baseline,
+single-device baseline, or EQC) needs: the Hamiltonian, the parameterized
+ansatz, the shared :class:`~repro.hamiltonian.expectation.EnergyEstimator`,
+and the exact ground energy used as the convergence reference.
+
+:func:`heisenberg_vqe_problem` builds the paper's 4-qubit Heisenberg
+experiment (Fig. 6/Fig. 9): hardware-efficient ansatz of Fig. 8 (16
+parameters) against the square-lattice Hamiltonian of Eq. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.library import hardware_efficient_ansatz
+from ..hamiltonian.expectation import EnergyEstimator
+from ..hamiltonian.heisenberg import heisenberg_square_lattice
+from ..hamiltonian.pauli import PauliSum
+
+__all__ = ["VQEProblem", "heisenberg_vqe_problem"]
+
+
+@dataclass
+class VQEProblem:
+    """A VQE instance: Hamiltonian + ansatz + estimator + reference energy."""
+
+    name: str
+    hamiltonian: PauliSum
+    ansatz: QuantumCircuit
+    estimator: EnergyEstimator = field(init=False)
+    ground_energy: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.estimator = EnergyEstimator(self.ansatz, self.hamiltonian)
+        self.ground_energy = self.hamiltonian.ground_state_energy()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.estimator.num_parameters
+
+    @property
+    def num_qubits(self) -> int:
+        return self.ansatz.num_qubits
+
+    def energy(self, values: Sequence[float]) -> float:
+        """Exact (noise-free) energy at a parameter vector."""
+        return self.estimator.exact_energy(values)
+
+    def error_vs_ground(self, energy: float) -> float:
+        """Relative deviation from the ground energy, as a fraction.
+
+        Matches the paper's Fig. 1/Fig. 6 error metric: the deviation of the
+        obtained energy from the ideal ground energy, normalized by the
+        magnitude of the ground energy.
+        """
+        reference = abs(self.ground_energy)
+        if reference == 0:
+            return abs(energy - self.ground_energy)
+        return abs(energy - self.ground_energy) / reference
+
+    def random_initial_parameters(self, seed: int = 7, scale: float = 0.1) -> np.ndarray:
+        """A reproducible random starting point shared across trainers."""
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-scale, scale, size=self.num_parameters)
+
+
+def heisenberg_vqe_problem(
+    coupling: float = 1.0,
+    field_strength: float = 1.0,
+    num_layers: int = 1,
+) -> VQEProblem:
+    """The paper's 4-qubit Heisenberg square-lattice VQE (Fig. 6)."""
+    hamiltonian = heisenberg_square_lattice(coupling, field_strength)
+    ansatz = hardware_efficient_ansatz(4, num_layers=num_layers, measure=False)
+    return VQEProblem(name="heisenberg_4q_square", hamiltonian=hamiltonian, ansatz=ansatz)

@@ -1,0 +1,118 @@
+"""Tests for metrics, correlation statistics and text reporting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlate, linear_fit
+from repro.analysis.metrics import relative_error, speedup, speedup_summary, throughput_table
+from repro.analysis.reporting import format_kv, format_series, format_table
+from repro.core.history import EpochRecord, TrainingHistory
+
+
+def history_with_rate(label, epochs, hours_per_epoch):
+    history = TrainingHistory(label=label)
+    for index in range(1, epochs + 1):
+        history.add(
+            EpochRecord(
+                epoch=index,
+                sim_time_hours=index * hours_per_epoch,
+                loss=-4.0,
+                parameters=(),
+            )
+        )
+    return history
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(-3.8, -4.0) == pytest.approx(0.05)
+        assert relative_error(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert math.isinf(speedup(10.0, 0.0))
+
+    def test_speedup_summary(self):
+        eqc = history_with_rate("EQC", 10, 0.1)        # 10 epochs/hour
+        singles = [
+            history_with_rate("fast", 10, 0.5),        # 2 epochs/hour -> 5x
+            history_with_rate("slow", 10, 5.0),        # 0.2 epochs/hour -> 50x
+        ]
+        summary = speedup_summary(eqc, singles)
+        assert summary.eqc_epochs_per_hour == pytest.approx(10.0)
+        assert summary.min_speedup == pytest.approx(5.0)
+        assert summary.max_speedup == pytest.approx(50.0)
+        assert summary.average_speedup == pytest.approx(27.5)
+        assert "5.0x" in summary.describe()
+
+    def test_speedup_summary_requires_baselines(self):
+        with pytest.raises(ValueError):
+            speedup_summary(history_with_rate("EQC", 5, 0.1), [])
+
+    def test_throughput_table(self):
+        rows = throughput_table([history_with_rate("a", 5, 0.1)])
+        assert rows[0]["label"] == "a"
+        assert rows[0]["epochs_per_hour"] == pytest.approx(10.0)
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        x = np.linspace(0, 1, 10)
+        report = correlate(x, 2 * x + 1)
+        assert report.pearson_r == pytest.approx(1.0)
+        assert report.r_squared == pytest.approx(1.0)
+        assert report.slope == pytest.approx(2.0)
+        assert report.intercept == pytest.approx(1.0)
+
+    def test_noisy_correlation_in_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, 40)
+        y = x + rng.normal(0, 0.2, 40)
+        report = correlate(x, y)
+        assert 0.5 < report.pearson_r <= 1.0
+        assert 0.0 < report.r_squared <= 1.0
+        assert report.p_value < 0.01
+
+    def test_describe(self):
+        report = correlate([0, 1, 2, 3], [0, 1, 2, 3.2])
+        assert "r=" in report.describe()
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            correlate([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        assert "b" not in format_table(rows, columns=["a"])
+
+    def test_format_series_downsamples(self):
+        xs = list(range(100))
+        ys = [x * 0.5 for x in xs]
+        text = format_series("curve", xs, ys, max_points=5)
+        assert text.startswith("curve:")
+        assert text.count("(") <= 7
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_format_kv(self):
+        text = format_kv({"speedup": 10.456, "mode": "async"})
+        assert "speedup=10.46" in text
+        assert "mode=async" in text

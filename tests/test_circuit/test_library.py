@@ -1,0 +1,108 @@
+"""Tests for the ansatz library (Fig. 8, Fig. 10, GHZ)."""
+
+import pytest
+
+from repro.circuit.library import (
+    ghz_state,
+    hardware_efficient_ansatz,
+    linear_entangler_demo,
+    qaoa_maxcut_ansatz,
+    qnn_encoder_ansatz,
+)
+
+
+class TestHardwareEfficientAnsatz:
+    def test_paper_parameter_count(self):
+        """The 4-qubit Fig. 8 circuit has 16 trainable parameters."""
+        qc = hardware_efficient_ansatz(4)
+        assert len(qc.parameters) == 16
+
+    def test_layer_scaling(self):
+        qc = hardware_efficient_ansatz(4, num_layers=2)
+        assert len(qc.parameters) == 32
+
+    def test_linear_entangler_structure(self):
+        qc = hardware_efficient_ansatz(4)
+        cx_pairs = [i.qubits for i in qc if i.name == "cx"]
+        assert cx_pairs == [(0, 1), (1, 2), (2, 3)]
+
+    def test_measurements_optional(self):
+        assert hardware_efficient_ansatz(4, measure=False).num_measurements == 0
+        assert hardware_efficient_ansatz(4, measure=True).num_measurements == 4
+
+    def test_gate_composition(self):
+        ops = hardware_efficient_ansatz(4, measure=False).count_ops()
+        assert ops == {"ry": 8, "rz": 8, "cx": 3}
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(1)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(4, num_layers=0)
+
+
+class TestQaoaAnsatz:
+    def test_paper_parameter_count(self):
+        """The single-layer Fig. 10 circuit has exactly 2 parameters."""
+        qc = qaoa_maxcut_ansatz(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert len(qc.parameters) == 2
+
+    def test_layer_scaling(self):
+        qc = qaoa_maxcut_ansatz(4, [(0, 1)], num_layers=3)
+        assert len(qc.parameters) == 6
+
+    def test_cost_layer_covers_every_edge(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        qc = qaoa_maxcut_ansatz(4, edges)
+        rzz_pairs = [i.qubits for i in qc if i.name == "rzz"]
+        assert len(rzz_pairs) == len(edges)
+
+    def test_hadamard_initialization(self):
+        qc = qaoa_maxcut_ansatz(4, [(0, 1)])
+        assert qc.count_ops()["h"] == 4
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_ansatz(4, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_ansatz(4, [(0, 7)])
+
+
+class TestGhzState:
+    def test_structure(self):
+        qc = ghz_state(5)
+        ops = qc.count_ops()
+        assert ops["h"] == 1
+        assert ops["cx"] == 4
+        assert ops["measure"] == 5
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            ghz_state(1)
+
+    def test_no_parameters(self):
+        assert ghz_state(3).is_bound
+
+
+class TestOtherCircuits:
+    def test_linear_entangler_demo(self):
+        qc = linear_entangler_demo(4)
+        assert len(qc.parameters) == 4
+        assert qc.count_ops()["cx"] == 3
+
+    def test_qnn_encoder_parameter_count(self):
+        qc = qnn_encoder_ansatz(4, features=[0.1, 0.2, 0.3, 0.4])
+        assert len(qc.parameters) == 4
+
+    def test_qnn_encoder_feature_wrapping(self):
+        # fewer features than qubits: features wrap around without error
+        qc = qnn_encoder_ansatz(4, features=[0.1, 0.2])
+        assert qc.count_ops()["rx"] == 4
+
+    def test_qnn_encoder_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            qnn_encoder_ansatz(4, features=[0.1], num_layers=0)

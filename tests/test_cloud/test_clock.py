@@ -1,0 +1,48 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.cloud.clock import SECONDS_PER_HOUR, VirtualClock, hours, seconds_to_hours
+
+
+class TestConversions:
+    def test_hours_round_trip(self):
+        assert hours(2.5) == pytest.approx(9000.0)
+        assert seconds_to_hours(hours(2.5)) == pytest.approx(2.5)
+
+    def test_constant(self):
+        assert SECONDS_PER_HOUR == 3600.0
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(100.0).now == pytest.approx(100.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.now == pytest.approx(15.0)
+
+    def test_cannot_run_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(50.0)
+        assert clock.now == pytest.approx(50.0)
+        clock.advance_to(20.0)  # no-op when in the past
+        assert clock.now == pytest.approx(50.0)
+
+    def test_now_hours(self):
+        clock = VirtualClock(7200.0)
+        assert clock.now_hours == pytest.approx(2.0)

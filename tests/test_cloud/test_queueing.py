@@ -1,0 +1,65 @@
+"""Tests for the queue/congestion models."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.queueing import DEFAULT_QUEUE_MODELS, QueueModel, queue_model_for
+
+
+class TestQueueModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueModel(mean_wait_seconds=-1.0)
+        with pytest.raises(ValueError):
+            QueueModel(popularity=1.5)
+        with pytest.raises(ValueError):
+            QueueModel(diurnal_amplitude=2.0)
+
+    def test_congestion_factor_positive(self):
+        model = QueueModel(popularity=0.9, diurnal_amplitude=0.5)
+        for hour in range(0, 48, 3):
+            assert model.congestion_factor(hour * 3600.0) > 0
+
+    def test_popular_devices_are_more_congested(self):
+        quiet = QueueModel(popularity=0.1, diurnal_amplitude=0.0)
+        busy = QueueModel(popularity=0.9, diurnal_amplitude=0.0)
+        assert busy.congestion_factor(0.0) > quiet.congestion_factor(0.0)
+
+    def test_diurnal_variation(self):
+        model = QueueModel(popularity=0.5, diurnal_amplitude=0.5)
+        factors = [model.congestion_factor(h * 3600.0) for h in range(24)]
+        assert max(factors) > min(factors)
+
+    def test_sample_wait_zero_mean(self):
+        model = QueueModel(mean_wait_seconds=0.0)
+        assert model.sample_wait(0.0, np.random.default_rng(0)) == 0.0
+
+    def test_sample_wait_scales_with_mean(self):
+        rng = np.random.default_rng(1)
+        short = QueueModel(mean_wait_seconds=10.0, sigma=0.3, popularity=0.5)
+        long = QueueModel(mean_wait_seconds=1000.0, sigma=0.3, popularity=0.5)
+        short_mean = np.mean([short.sample_wait(0.0, rng) for _ in range(200)])
+        long_mean = np.mean([long.sample_wait(0.0, rng) for _ in range(200)])
+        assert long_mean > 10 * short_mean
+
+    def test_sample_wait_nonnegative(self):
+        model = QueueModel()
+        rng = np.random.default_rng(2)
+        assert all(model.sample_wait(t, rng) >= 0 for t in range(0, 100000, 7919))
+
+
+class TestDefaultModels:
+    def test_all_catalog_devices_have_models(self):
+        from repro.devices.catalog import TABLE_I
+
+        assert set(TABLE_I.keys()) <= set(DEFAULT_QUEUE_MODELS.keys())
+
+    def test_unknown_device_gets_fallback(self):
+        assert queue_model_for("nonexistent") is not None
+
+    def test_congested_devices_wait_longer(self):
+        assert (
+            DEFAULT_QUEUE_MODELS["Manhattan"].mean_wait_seconds
+            > DEFAULT_QUEUE_MODELS["Santiago"].mean_wait_seconds
+            > DEFAULT_QUEUE_MODELS["Belem"].mean_wait_seconds
+        )

@@ -1,0 +1,81 @@
+"""Tests for the EQC client node (Algorithm 2)."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.client import EQCClientNode
+from repro.core.objective import EnergyObjective
+from repro.devices.catalog import build_qpu
+from repro.vqa.tasks import GradientTask
+
+
+@pytest.fixture()
+def client(vqe_problem):
+    qpu = build_qpu("Belem")
+    provider = CloudProvider([qpu], seed=0, shots=512)
+    return EQCClientNode(
+        EnergyObjective(vqe_problem.estimator), qpu, provider, shots=512
+    )
+
+
+class TestClientExecution:
+    def test_outcome_fields(self, client, vqe_problem):
+        task = GradientTask(task_id=0, parameter_index=4)
+        theta = vqe_problem.random_initial_parameters()
+        outcome = client.execute_task(task, theta, submit_time=0.0, theta_version=3)
+        assert outcome.device_name == "Belem"
+        assert outcome.task is task
+        assert outcome.finish_time > outcome.submit_time
+        assert 0.0 < outcome.p_correct <= 1.0
+        assert 0.0 <= outcome.success_probability_truth <= 1.0
+        assert outcome.theta_version == 3
+        assert outcome.num_circuits == 6
+        assert outcome.turnaround_seconds > 0
+
+    def test_gradient_is_finite(self, client, vqe_problem):
+        task = GradientTask(task_id=1, parameter_index=0)
+        outcome = client.execute_task(
+            task, vqe_problem.random_initial_parameters(), submit_time=0.0
+        )
+        assert abs(outcome.gradient) < 50.0
+
+    def test_transpilation_is_cached_across_tasks(self, client, vqe_problem):
+        theta = vqe_problem.random_initial_parameters()
+        client.execute_task(GradientTask(0, 0), theta, submit_time=0.0)
+        cached = len(client._transpile_cache)
+        client.execute_task(GradientTask(1, 1), theta, submit_time=100.0)
+        assert len(client._transpile_cache) == cached == 3
+
+    def test_jobs_completed_counter(self, client, vqe_problem):
+        theta = vqe_problem.random_initial_parameters()
+        for index in range(3):
+            client.execute_task(GradientTask(index, index), theta, submit_time=0.0)
+        assert client.jobs_completed == 3
+
+    def test_representative_footprint_requires_templates(self, vqe_problem):
+        qpu = build_qpu("Quito")
+        provider = CloudProvider([qpu], seed=0)
+        fresh = EQCClientNode(EnergyObjective(vqe_problem.estimator), qpu, provider)
+        with pytest.raises(ValueError):
+            fresh.representative_footprint()
+
+    def test_p_correct_tracks_device_quality(self, vqe_problem):
+        """The estimate on x2 must be lower than on Bogota for the same job."""
+        outcomes = {}
+        for name in ("x2", "Bogota"):
+            qpu = build_qpu(name)
+            provider = CloudProvider([qpu], seed=0, shots=256)
+            client = EQCClientNode(
+                EnergyObjective(vqe_problem.estimator), qpu, provider, shots=256
+            )
+            outcome = client.execute_task(
+                GradientTask(0, 0), vqe_problem.random_initial_parameters(), submit_time=0.0
+            )
+            outcomes[name] = outcome.p_correct
+        assert outcomes["x2"] < outcomes["Bogota"]
+
+    def test_later_submissions_finish_later(self, client, vqe_problem):
+        theta = vqe_problem.random_initial_parameters()
+        first = client.execute_task(GradientTask(0, 0), theta, submit_time=0.0)
+        second = client.execute_task(GradientTask(1, 1), theta, submit_time=first.finish_time)
+        assert second.finish_time > first.finish_time

@@ -1,0 +1,80 @@
+"""Tests for the EQCEnsemble facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective
+from repro.core.weighting import BOUNDS_MODERATE
+
+
+class TestEQCConfig:
+    def test_defaults(self):
+        config = EQCConfig()
+        assert len(config.device_names) == 10
+        assert config.shots == 8192
+        assert config.learning_rate == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EQCConfig(device_names=())
+        with pytest.raises(ValueError):
+            EQCConfig(shots=0)
+        with pytest.raises(ValueError):
+            EQCConfig(learning_rate=0.0)
+
+    def test_describe(self):
+        assert "unweighted" in EQCConfig(weight_bounds=None).describe()
+        assert "3 devices" in EQCConfig(device_names=("x2", "Belem", "Quito")).describe()
+        assert EQCConfig(label="custom").describe() == "custom"
+
+
+class TestEQCEnsemble:
+    @pytest.fixture()
+    def small_config(self):
+        return EQCConfig(
+            device_names=("x2", "Belem", "Bogota"),
+            shots=512,
+            weight_bounds=BOUNDS_MODERATE,
+            seed=1,
+        )
+
+    def test_construction(self, vqe_problem, small_config):
+        ensemble = EQCEnsemble(EnergyObjective(vqe_problem.estimator), small_config)
+        assert ensemble.device_names == ("x2", "Belem", "Bogota")
+        assert len(ensemble.clients) == 3
+
+    def test_for_estimator_constructor(self, vqe_problem, small_config):
+        ensemble = EQCEnsemble.for_estimator(vqe_problem.estimator, small_config)
+        assert isinstance(ensemble.objective, EnergyObjective)
+
+    def test_train_returns_history_with_utilization(self, vqe_problem, small_config):
+        ensemble = EQCEnsemble(EnergyObjective(vqe_problem.estimator), small_config)
+        history = ensemble.train(
+            vqe_problem.random_initial_parameters(), num_epochs=2
+        )
+        assert len(history) == 2
+        assert set(history.metadata["utilization"].keys()) == {"x2", "Belem", "Bogota"}
+        assert history.metadata["num_clients"] == 3
+
+    def test_parallelism_beats_single_device_wall_clock(self, vqe_problem):
+        """The 3-device ensemble must finish the same number of epochs in less
+        simulated time than the same problem run on its slowest member."""
+        from repro.baselines.single_device import SingleDeviceTrainer
+
+        theta = vqe_problem.random_initial_parameters()
+        ensemble = EQCEnsemble(
+            EnergyObjective(vqe_problem.estimator),
+            EQCConfig(device_names=("x2", "Belem", "Bogota"), shots=256, seed=2),
+        )
+        eqc_history = ensemble.train(theta, num_epochs=2)
+        single = SingleDeviceTrainer(
+            EnergyObjective(vqe_problem.estimator), "Bogota", shots=256, seed=2
+        ).train(theta, num_epochs=2)
+        assert eqc_history.total_hours() < single.total_hours()
+
+    def test_deterministic_given_seed(self, vqe_problem, small_config):
+        theta = vqe_problem.random_initial_parameters()
+        a = EQCEnsemble(EnergyObjective(vqe_problem.estimator), small_config).train(theta, 2)
+        b = EQCEnsemble(EnergyObjective(vqe_problem.estimator), small_config).train(theta, 2)
+        assert np.allclose(a.losses, b.losses)

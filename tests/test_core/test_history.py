@@ -1,0 +1,78 @@
+"""Tests for training histories."""
+
+import math
+
+import pytest
+
+from repro.core.history import EpochRecord, TrainingHistory
+
+
+def make_history(losses, hours_per_epoch=0.1, label="run"):
+    history = TrainingHistory(label=label)
+    for index, loss in enumerate(losses, start=1):
+        history.add(
+            EpochRecord(
+                epoch=index,
+                sim_time_hours=index * hours_per_epoch,
+                loss=loss,
+                parameters=(0.0,),
+            )
+        )
+    return history
+
+
+class TestTrainingHistory:
+    def test_epoch_order_enforced(self):
+        history = make_history([1.0, 0.5])
+        with pytest.raises(ValueError):
+            history.add(EpochRecord(epoch=1, sim_time_hours=1.0, loss=0.1, parameters=()))
+
+    def test_array_accessors(self):
+        history = make_history([3.0, 2.0, 1.0])
+        assert list(history.epochs) == [1, 2, 3]
+        assert list(history.losses) == [3.0, 2.0, 1.0]
+        assert history.final_parameters == (0.0,)
+
+    def test_final_loss_averages_tail(self):
+        history = make_history([5.0, 1.0, 1.0, 1.0])
+        assert history.final_loss(tail=3) == pytest.approx(1.0)
+        assert history.final_loss(tail=100) == pytest.approx(2.0)
+
+    def test_best_loss(self):
+        assert make_history([3.0, -1.0, 0.5]).best_loss() == pytest.approx(-1.0)
+
+    def test_empty_history_raises(self):
+        history = TrainingHistory(label="empty")
+        with pytest.raises(ValueError):
+            history.final_loss()
+        assert history.total_hours() == 0.0
+
+    def test_epochs_per_hour_uses_epoch_index(self):
+        history = TrainingHistory(label="sampled")
+        history.add(EpochRecord(epoch=10, sim_time_hours=2.0, loss=0.0, parameters=()))
+        assert history.epochs_per_hour() == pytest.approx(5.0)
+
+    def test_error_vs_reference(self):
+        history = make_history([-3.8] * 12)
+        assert history.error_vs(-4.0) == pytest.approx(0.05)
+
+    def test_error_vs_zero_reference(self):
+        history = make_history([0.5] * 12)
+        assert history.error_vs(0.0) == pytest.approx(0.5)
+
+    def test_convergence_epoch_requires_patience(self):
+        losses = [0.0, -3.9, 0.0, -3.9, -3.95, -3.92, -3.99, -3.97, -3.96]
+        history = make_history(losses)
+        # epochs 4,5,6 are the first three consecutive in-band records
+        assert history.convergence_epoch(-4.0, tolerance=0.05, patience=3) == 4
+
+    def test_convergence_epoch_none_when_never_converged(self):
+        history = make_history([0.0] * 10)
+        assert history.convergence_epoch(-4.0) is None
+
+    def test_summary_keys(self):
+        history = make_history([-3.9] * 12)
+        summary = history.summary(reference=-4.0)
+        assert summary["label"] == "run"
+        assert summary["convergence_epoch"] is not None
+        assert not math.isnan(summary["final_loss"])

@@ -1,0 +1,124 @@
+"""Tests for the EQC master node (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.core.client import EQCClientNode
+from repro.core.master import EQCMasterNode
+from repro.core.objective import EnergyObjective
+from repro.core.weighting import BOUNDS_MODERATE, WeightingConfig
+from repro.devices.catalog import build_fleet
+from repro.vqa.optimizer import AsgdRule
+from repro.vqa.tasks import vqe_task_cycle
+
+
+def build_master(problem, device_names=("x2", "Belem", "Bogota"), bounds=BOUNDS_MODERATE,
+                 shots=512, seed=0, label="EQC-test"):
+    objective = EnergyObjective(problem.estimator)
+    fleet = build_fleet(device_names)
+    provider = CloudProvider(fleet, seed=seed, shots=shots)
+    clients = [EQCClientNode(objective, qpu, provider, shots=shots) for qpu in fleet]
+    return EQCMasterNode(
+        objective=objective,
+        clients=clients,
+        task_queue=vqe_task_cycle(problem.num_parameters),
+        rule=AsgdRule(learning_rate=0.1),
+        weighting=WeightingConfig(bounds=bounds),
+        initial_parameters=problem.random_initial_parameters(seed=seed),
+        label=label,
+    )
+
+
+class TestMasterTraining:
+    def test_history_structure(self, vqe_problem):
+        master = build_master(vqe_problem)
+        history = master.train(num_epochs=3)
+        assert len(history) == 3
+        assert list(history.epochs) == [1, 2, 3]
+        assert history.total_updates == 3 * 16
+        assert history.device_names == ("x2", "Belem", "Bogota")
+        assert history.metadata["weighting"].startswith("weights")
+
+    def test_loss_decreases_from_start(self, vqe_problem):
+        master = build_master(vqe_problem)
+        initial_loss = vqe_problem.energy(master.state.snapshot())
+        history = master.train(num_epochs=5)
+        assert history.losses[-1] < initial_loss
+
+    def test_record_every(self, vqe_problem):
+        master = build_master(vqe_problem)
+        history = master.train(num_epochs=4, record_every=2)
+        assert list(history.epochs) == [2, 4]
+        # throughput accounting uses the true epoch index, not the record count
+        assert history.epochs_per_hour() == pytest.approx(4 / history.total_hours(), rel=1e-6)
+
+    def test_weights_cover_all_clients(self, vqe_problem):
+        master = build_master(vqe_problem)
+        master.train(num_epochs=2)
+        weights = master.current_weights
+        assert set(weights.keys()) == {"client_x2", "client_Belem", "client_Bogota"}
+        assert all(0.5 - 1e-9 <= w <= 1.5 + 1e-9 for w in weights.values())
+
+    def test_unweighted_configuration(self, vqe_problem):
+        master = build_master(vqe_problem, bounds=None)
+        master.train(num_epochs=2)
+        assert all(w == 1.0 for w in master.current_weights.values())
+
+    def test_asynchrony_produces_staleness(self, vqe_problem):
+        master = build_master(vqe_problem)
+        history = master.train(num_epochs=3)
+        assert history.metadata["max_staleness"] >= 1
+
+    def test_telemetry_counts(self, vqe_problem):
+        master = build_master(vqe_problem)
+        master.train(num_epochs=2)
+        telemetry = master.telemetry
+        assert telemetry.updates_applied == 32
+        assert telemetry.jobs_dispatched >= 32
+        assert telemetry.circuits_executed == telemetry.jobs_dispatched * 6
+
+    def test_epoch_time_monotone(self, vqe_problem):
+        history = build_master(vqe_problem).train(num_epochs=4)
+        times = history.times_hours
+        assert all(times[i] < times[i + 1] for i in range(len(times) - 1))
+
+    def test_invalid_epochs_rejected(self, vqe_problem):
+        with pytest.raises(ValueError):
+            build_master(vqe_problem).train(num_epochs=0)
+
+    def test_duplicate_client_names_rejected(self, vqe_problem):
+        objective = EnergyObjective(vqe_problem.estimator)
+        fleet = build_fleet(["Belem"])
+        provider = CloudProvider(fleet, seed=0)
+        client = EQCClientNode(objective, fleet[0], provider)
+        with pytest.raises(ValueError):
+            EQCMasterNode(
+                objective=objective,
+                clients=[client, client],
+                task_queue=vqe_task_cycle(16),
+                rule=AsgdRule(0.1),
+                weighting=WeightingConfig(),
+                initial_parameters=np.zeros(16),
+            )
+
+    def test_no_clients_rejected(self, vqe_problem):
+        with pytest.raises(ValueError):
+            EQCMasterNode(
+                objective=EnergyObjective(vqe_problem.estimator),
+                clients=[],
+                task_queue=vqe_task_cycle(16),
+                rule=AsgdRule(0.1),
+                weighting=WeightingConfig(),
+                initial_parameters=np.zeros(16),
+            )
+
+    def test_deterministic_given_seed(self, vqe_problem):
+        a = build_master(vqe_problem, seed=5).train(num_epochs=2)
+        b = build_master(vqe_problem, seed=5).train(num_epochs=2)
+        assert np.allclose(a.losses, b.losses)
+
+    def test_different_seeds_differ(self, vqe_problem):
+        a = build_master(vqe_problem, seed=1).train(num_epochs=2)
+        b = build_master(vqe_problem, seed=2).train(num_epochs=2)
+        assert not np.allclose(a.losses, b.losses)

@@ -1,0 +1,96 @@
+"""Tests for the Table I device catalog."""
+
+import pytest
+
+from repro.devices.catalog import (
+    DEFAULT_QAOA_FLEET,
+    DEFAULT_VQE_FLEET,
+    TABLE_I,
+    available_devices,
+    build_fleet,
+    build_qpu,
+    device_spec,
+)
+
+
+class TestCatalogContents:
+    def test_contains_all_paper_devices(self):
+        expected = {
+            "Lima", "x2", "Belem", "Quito", "Manila", "Santiago",
+            "Bogota", "Lagos", "Casablanca", "Toronto", "Manhattan",
+        }
+        assert set(TABLE_I.keys()) == expected
+
+    def test_qubit_counts_match_table1(self):
+        expected = {
+            "Lima": 5, "x2": 5, "Belem": 5, "Quito": 5, "Manila": 5,
+            "Santiago": 5, "Bogota": 5, "Lagos": 7, "Casablanca": 7,
+            "Toronto": 27, "Manhattan": 65,
+        }
+        for name, qubits in expected.items():
+            assert TABLE_I[name].num_qubits == qubits
+
+    def test_quantum_volumes_match_table1(self):
+        expected = {
+            "Lima": 8, "x2": 8, "Belem": 16, "Quito": 16, "Manila": 32,
+            "Santiago": 16, "Bogota": 32, "Lagos": 32, "Casablanca": 32,
+            "Toronto": 32, "Manhattan": 32,
+        }
+        for name, qv in expected.items():
+            assert TABLE_I[name].quantum_volume == qv
+
+    def test_x2_is_fully_connected(self):
+        spec = TABLE_I["x2"]
+        assert spec.topology.average_degree == pytest.approx(4.0)
+
+    def test_line_devices(self):
+        for name in ("Manila", "Santiago", "Bogota"):
+            assert len(TABLE_I[name].topology.edges) == 4
+            assert max(TABLE_I[name].topology.degree(q) for q in range(5)) == 2
+
+    def test_x2_is_noisiest_five_qubit_device(self):
+        x2 = TABLE_I["x2"].noise_profile
+        for name in ("Belem", "Quito", "Manila", "Bogota", "Santiago", "Lima"):
+            assert x2.cx_error > TABLE_I[name].noise_profile.cx_error
+
+    def test_slow_devices_have_large_job_seconds(self):
+        assert TABLE_I["Manhattan"].base_job_seconds > TABLE_I["Santiago"].base_job_seconds
+        assert TABLE_I["Santiago"].base_job_seconds > TABLE_I["Bogota"].base_job_seconds
+
+    def test_ensemble_bias_roughly_cancels(self):
+        """The fleet's coherent biases average close to zero, which is what
+        lets the ensemble dampen device-specific bias (paper Section V-C)."""
+        biases = [TABLE_I[name].noise_profile.coherent_bias for name in DEFAULT_VQE_FLEET]
+        assert abs(sum(biases) / len(biases)) < 0.01
+        assert max(abs(b) for b in biases) > 0.01
+
+    def test_unique_seeds(self):
+        seeds = [spec.seed for spec in TABLE_I.values()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestCatalogAccess:
+    def test_available_devices(self):
+        assert set(available_devices()) == set(TABLE_I.keys())
+
+    def test_device_spec_case_insensitive(self):
+        assert device_spec("bogota").name == "Bogota"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            device_spec("nonexistent")
+
+    def test_build_qpu(self):
+        qpu = build_qpu("Lima")
+        assert qpu.name == "Lima"
+        assert qpu.num_qubits == 5
+
+    def test_build_fleet_default(self):
+        fleet = build_fleet()
+        assert [q.name for q in fleet] == list(DEFAULT_VQE_FLEET)
+
+    def test_default_fleets_are_subsets_of_catalog(self):
+        assert set(DEFAULT_VQE_FLEET) <= set(TABLE_I.keys())
+        assert set(DEFAULT_QAOA_FLEET) <= set(TABLE_I.keys())
+        assert len(DEFAULT_VQE_FLEET) == 10
+        assert len(DEFAULT_QAOA_FLEET) == 8

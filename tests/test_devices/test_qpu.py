@@ -1,0 +1,139 @@
+"""Tests for the simulated QPU model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import ghz_state
+from repro.devices.catalog import build_qpu
+from repro.devices.qpu import CircuitFootprint, success_probability
+from repro.devices.topology import line_topology
+from repro.noise.calibration import CalibrationSnapshot
+from repro.transpiler import transpile
+
+
+@pytest.fixture(scope="module")
+def bogota():
+    return build_qpu("Bogota")
+
+
+@pytest.fixture(scope="module")
+def ghz_footprint(bogota):
+    return transpile(ghz_state(4), bogota.topology).footprint
+
+
+class TestCircuitFootprint:
+    def test_from_circuit(self):
+        footprint = CircuitFootprint.from_circuit(ghz_state(3))
+        assert footprint.num_two_qubit_gates == 2
+        assert footprint.num_measurements == 3
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitFootprint(-1, 0, 0, 0)
+
+
+class TestCalibrationLifecycle:
+    def test_cycle_indexing(self, bogota):
+        period = bogota.spec.calibration_period_hours * 3600
+        assert bogota.calibration_cycle(0.0) == 0
+        assert bogota.calibration_cycle(period + 1) == 1
+
+    def test_hours_since_calibration_wraps(self, bogota):
+        period = bogota.spec.calibration_period_hours * 3600
+        assert bogota.hours_since_calibration(period + 3600) == pytest.approx(1.0)
+
+    def test_reported_calibration_constant_within_cycle(self, bogota):
+        a = bogota.reported_calibration(1000.0)
+        b = bogota.reported_calibration(50000.0)
+        assert a.average_cx_error == pytest.approx(b.average_cx_error)
+
+    def test_reported_calibration_changes_at_recalibration(self, bogota):
+        period = bogota.spec.calibration_period_hours * 3600
+        a = bogota.reported_calibration(1000.0)
+        b = bogota.reported_calibration(period + 1000.0)
+        assert a.average_cx_error != pytest.approx(b.average_cx_error)
+
+    def test_effective_calibration_is_worse_or_equal(self, bogota):
+        now = 20 * 3600.0
+        reported = bogota.reported_calibration(now)
+        effective = bogota.effective_calibration(now)
+        assert effective.average_cx_error >= reported.average_cx_error
+
+    def test_estimated_calibration_between_reported_and_effective(self, bogota):
+        now = 20 * 3600.0
+        reported = bogota.reported_calibration(now)
+        estimated = bogota.estimated_calibration(now)
+        assert estimated.average_cx_error >= reported.average_cx_error
+
+    def test_drift_factor_at_least_one(self, bogota):
+        for hour in (0, 5, 12, 23):
+            assert bogota.drift_factor(hour * 3600.0) >= 1.0
+
+
+class TestSuccessProbability:
+    def test_formula_bounds(self, bogota, ghz_footprint):
+        for hour in (0, 6, 18):
+            p = bogota.true_success_probability(ghz_footprint, hour * 3600.0)
+            assert 0.0 <= p <= 1.0
+
+    def test_bigger_circuits_are_less_likely_to_succeed(self, bogota):
+        small = transpile(ghz_state(2), bogota.topology).footprint
+        large = transpile(ghz_state(5), bogota.topology).footprint
+        now = 3600.0
+        assert bogota.true_success_probability(small, now) > bogota.true_success_probability(
+            large, now
+        )
+
+    def test_crosstalk_lowers_success(self, bogota, ghz_footprint):
+        calibration = bogota.reported_calibration(0.0)
+        clean = success_probability(calibration, ghz_footprint, crosstalk=0.0, connectivity=0.0)
+        dirty = success_probability(calibration, ghz_footprint, crosstalk=0.02, connectivity=4.0)
+        assert dirty < clean
+
+    def test_empty_footprint_is_certain(self, bogota):
+        calibration = bogota.reported_calibration(0.0)
+        footprint = CircuitFootprint(0, 0, 0, 0)
+        assert success_probability(calibration, footprint) == pytest.approx(1.0)
+
+
+class TestExecution:
+    def test_execute_returns_counts_with_correct_shots(self, bogota, ghz_footprint, rng):
+        result = bogota.execute(ghz_state(4), ghz_footprint, shots=512, now=3600.0, rng=rng)
+        assert result.counts.shots == 512
+        assert result.backend_name == "Bogota"
+        assert result.duration_seconds > 0
+
+    def test_execution_metadata(self, bogota, ghz_footprint, rng):
+        result = bogota.execute(ghz_state(4), ghz_footprint, shots=128, now=7200.0, rng=rng)
+        assert 0.0 <= result.metadata["success_probability"] <= 1.0
+        assert result.metadata["calibration_age_hours"] == pytest.approx(2.0)
+
+    def test_noisy_distribution_normalized(self, bogota, ghz_footprint):
+        probs = bogota.noisy_distribution(ghz_state(4), ghz_footprint, now=3600.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_noisier_device_has_lower_success(self, ghz_footprint, rng):
+        x2 = build_qpu("x2")
+        bogota = build_qpu("Bogota")
+        now = 3600.0
+        assert x2.true_success_probability(
+            ghz_footprint, now
+        ) < bogota.true_success_probability(ghz_footprint, now)
+
+    def test_job_duration_positive_and_slows_with_drift(self, bogota):
+        base = bogota.spec.base_job_seconds
+        assert bogota.job_duration_seconds(0.0) >= base * 0.99
+
+
+class TestQPUSpecValidation:
+    def test_topology_width_mismatch_rejected(self):
+        from repro.devices.qpu import QPUSpec
+
+        with pytest.raises(ValueError):
+            QPUSpec(
+                name="bad",
+                num_qubits=3,
+                processor="p",
+                quantum_volume=8,
+                topology=line_topology(5),
+            )

@@ -1,0 +1,91 @@
+"""Tests for qubit-wise-commuting grouping and measurement circuits."""
+
+import pytest
+
+from repro.hamiltonian.grouping import (
+    MeasurementGroup,
+    group_qubitwise_commuting,
+    measurement_basis_circuit,
+)
+from repro.hamiltonian.heisenberg import heisenberg_square_lattice
+from repro.hamiltonian.maxcut import ring_maxcut_hamiltonian
+from repro.hamiltonian.pauli import PauliString, PauliSum
+
+
+class TestGrouping:
+    def test_heisenberg_groups_into_three_bases(self):
+        """XX / YY / (ZZ + Z) should fold into exactly three groups."""
+        groups = group_qubitwise_commuting(heisenberg_square_lattice())
+        assert len(groups) == 3
+        bases = {g.basis for g in groups}
+        assert bases == {"XXXX", "YYYY", "ZZZZ"}
+
+    def test_maxcut_groups_into_single_basis(self):
+        groups = group_qubitwise_commuting(ring_maxcut_hamiltonian())
+        assert len(groups) == 1
+
+    def test_every_term_is_assigned_exactly_once(self):
+        hamiltonian = heisenberg_square_lattice()
+        groups = group_qubitwise_commuting(hamiltonian)
+        assigned = [t for g in groups for t in g.terms]
+        assert len(assigned) == len(hamiltonian)
+
+    def test_terms_commute_with_their_group_basis(self):
+        groups = group_qubitwise_commuting(heisenberg_square_lattice())
+        for group in groups:
+            basis_term = PauliString(group.basis.replace("I", "Z") if False else group.basis)
+            for term in group.terms:
+                for qubit, char in enumerate(term.label):
+                    if char != "I":
+                        assert group.basis[qubit] == char
+
+    def test_incompatible_terms_split(self):
+        h = PauliSum.from_dict({"XZ": 1.0, "ZX": 1.0})
+        assert len(group_qubitwise_commuting(h)) == 2
+
+
+class TestMeasurementCircuits:
+    def test_z_basis_needs_no_rotation(self):
+        circuit = measurement_basis_circuit("ZZ")
+        assert circuit.count_ops() == {"measure": 2}
+
+    def test_x_basis_uses_hadamard(self):
+        circuit = measurement_basis_circuit("XI")
+        assert circuit.count_ops()["h"] == 1
+
+    def test_y_basis_uses_sdg_h(self):
+        circuit = measurement_basis_circuit("YY")
+        ops = circuit.count_ops()
+        assert ops["sdg"] == 2
+        assert ops["h"] == 2
+
+    def test_invalid_basis_rejected(self):
+        with pytest.raises(ValueError):
+            measurement_basis_circuit("ZQ")
+
+    def test_all_qubits_measured(self):
+        assert measurement_basis_circuit("XYZ").num_measurements == 3
+
+
+class TestGroupExpectation:
+    def test_zz_expectation_from_counts(self):
+        group = MeasurementGroup(terms=(PauliString("ZZ", 1.0),), basis="ZZ")
+        counts = {"00": 50, "11": 30, "01": 20}
+        # parity +1 for 00/11 (80), -1 for 01 (20) -> 0.6
+        assert group.expectation_from_counts(counts) == pytest.approx(0.6)
+
+    def test_coefficient_applied(self):
+        group = MeasurementGroup(terms=(PauliString("ZI", -2.0),), basis="ZZ")
+        counts = {"00": 100}
+        assert group.expectation_from_counts(counts) == pytest.approx(-2.0)
+
+    def test_empty_counts_returns_zero(self):
+        group = MeasurementGroup(terms=(PauliString("ZZ"),), basis="ZZ")
+        assert group.expectation_from_counts({}) == 0.0
+
+    def test_multi_term_group(self):
+        group = MeasurementGroup(
+            terms=(PauliString("ZI", 1.0), PauliString("IZ", 1.0)), basis="ZZ"
+        )
+        counts = {"00": 100}
+        assert group.expectation_from_counts(counts) == pytest.approx(2.0)

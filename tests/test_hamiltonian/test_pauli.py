@@ -1,0 +1,127 @@
+"""Tests for Pauli-string algebra."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian.pauli import PauliString, PauliSum
+
+
+class TestPauliString:
+    def test_label_normalized_to_upper(self):
+        assert PauliString("xz").label == "XZ"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString("XA")
+        with pytest.raises(ValueError):
+            PauliString("")
+
+    def test_support(self):
+        assert PauliString("IXZI").support == (1, 2)
+        assert PauliString("III").support == ()
+
+    def test_identity_and_diagonal_flags(self):
+        assert PauliString("II").is_identity
+        assert PauliString("ZZ").is_diagonal
+        assert not PauliString("XZ").is_diagonal
+
+    def test_matrix_of_z(self):
+        assert np.allclose(PauliString("Z").to_matrix(), np.diag([1, -1]))
+
+    def test_matrix_includes_coefficient(self):
+        assert np.allclose(PauliString("X", 2.0).to_matrix(), 2 * np.array([[0, 1], [1, 0]]))
+
+    def test_matrix_tensor_order(self):
+        zi = PauliString("ZI").to_matrix()
+        assert np.allclose(np.diag(zi), [1, 1, -1, -1])
+
+    def test_scalar_multiplication(self):
+        assert (PauliString("X", 0.5) * 3.0).coefficient == pytest.approx(1.5)
+
+    def test_pauli_multiplication(self):
+        product = PauliString("X") * PauliString("X")
+        assert product.label == "I"
+        assert product.coefficient == pytest.approx(1.0)
+
+    def test_pauli_multiplication_with_imaginary_phase_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString("X") * PauliString("Y")
+
+    def test_zz_product(self):
+        product = PauliString("XX") * PauliString("YY")
+        assert product.label == "ZZ"
+        assert product.coefficient == pytest.approx(-1.0)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString("X") * PauliString("XX")
+
+    def test_qubitwise_commutation(self):
+        assert PauliString("XI").commutes_qubitwise(PauliString("IX"))
+        assert PauliString("XX").commutes_qubitwise(PauliString("XI"))
+        assert not PauliString("XI").commutes_qubitwise(PauliString("ZI"))
+
+    def test_eigenvalue_of_bitstring(self):
+        term = PauliString("ZZI")
+        assert term.eigenvalue_of_bitstring("000") == 1
+        assert term.eigenvalue_of_bitstring("110") == 1
+        assert term.eigenvalue_of_bitstring("100") == -1
+
+    def test_expectation_from_probabilities_diagonal(self):
+        term = PauliString("ZI", 2.0)
+        probs = np.array([0.5, 0.0, 0.5, 0.0])  # |00> and |10> equally
+        assert term.expectation_from_probabilities(probs) == pytest.approx(0.0)
+
+    def test_expectation_from_probabilities_rejects_offdiagonal(self):
+        with pytest.raises(ValueError):
+            PauliString("XI").expectation_from_probabilities(np.ones(4) / 4)
+
+
+class TestPauliSum:
+    def test_width_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            PauliSum([PauliString("X"), PauliString("XX")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PauliSum([])
+
+    def test_from_dict(self):
+        h = PauliSum.from_dict({"ZZ": 1.0, "XI": 0.5})
+        assert len(h) == 2
+
+    def test_simplify_merges_terms(self):
+        h = PauliSum([PauliString("ZZ", 1.0), PauliString("ZZ", 2.0), PauliString("XI", 1e-15)])
+        simplified = h.simplify()
+        assert len(simplified) == 1
+        assert simplified.terms[0].coefficient == pytest.approx(3.0)
+
+    def test_addition(self):
+        a = PauliSum([PauliString("ZZ", 1.0)])
+        b = PauliSum([PauliString("ZZ", 1.0), PauliString("XX", 1.0)])
+        total = a + b
+        labels = {t.label: t.coefficient for t in total}
+        assert labels["ZZ"] == pytest.approx(2.0)
+
+    def test_scalar_multiplication(self):
+        h = PauliSum([PauliString("Z", 2.0)]) * 0.5
+        assert h.terms[0].coefficient == pytest.approx(1.0)
+
+    def test_matrix_is_hermitian(self):
+        h = PauliSum.from_dict({"XX": 1.0, "YY": 1.0, "ZZ": 1.0, "ZI": 1.0})
+        matrix = h.to_matrix()
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_ground_state_energy_of_single_z(self):
+        h = PauliSum.from_dict({"Z": 1.0})
+        assert h.ground_state_energy() == pytest.approx(-1.0)
+
+    def test_expectation_from_statevector(self):
+        h = PauliSum.from_dict({"ZI": 1.0, "IZ": 1.0})
+        state = np.zeros(4)
+        state[0b11] = 1.0
+        assert h.expectation_from_statevector(state) == pytest.approx(-2.0)
+
+    def test_is_diagonal(self):
+        assert PauliSum.from_dict({"ZZ": 1.0, "IZ": 0.5}).is_diagonal
+        assert not PauliSum.from_dict({"ZX": 1.0}).is_diagonal

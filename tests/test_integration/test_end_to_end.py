@@ -1,0 +1,109 @@
+"""Integration tests: the full stack, end to end, at reduced scale.
+
+These tests exercise the same paths as the benchmark harness (device models,
+cloud queues, transpilation, noisy execution, EQC master/client training) but
+with small epoch counts, and assert the paper's *qualitative* claims rather
+than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ideal import IdealTrainer
+from repro.baselines.single_device import SingleDeviceTrainer
+from repro.core.ensemble import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective, QnnObjective
+from repro.core.weighting import BOUNDS_MODERATE
+from repro.vqa.qnn import QNNProblem, make_synthetic_dataset
+from repro.vqa.tasks import qnn_task_cycle
+
+
+pytestmark = pytest.mark.integration
+
+
+class TestVQEEndToEnd:
+    def test_eqc_trains_and_is_faster_than_single_devices(self, vqe_problem):
+        theta0 = vqe_problem.random_initial_parameters(seed=11)
+        epochs = 8
+        shots = 1024
+
+        eqc = EQCEnsemble(
+            EnergyObjective(vqe_problem.estimator),
+            EQCConfig(
+                device_names=("x2", "Belem", "Bogota", "Quito", "Casablanca"),
+                shots=shots,
+                weight_bounds=BOUNDS_MODERATE,
+                seed=11,
+            ),
+        ).train(theta0, num_epochs=epochs)
+
+        single = SingleDeviceTrainer(
+            EnergyObjective(vqe_problem.estimator), "Bogota", shots=shots, seed=11
+        ).train(theta0, num_epochs=epochs)
+
+        initial_energy = vqe_problem.energy(theta0)
+        # both learn
+        assert eqc.losses[-1] < initial_energy
+        assert single.losses[-1] < initial_energy
+        # the ensemble is significantly faster in simulated wall-clock
+        assert eqc.epochs_per_hour() > 2.0 * single.epochs_per_hour()
+        # asynchrony really happened
+        assert eqc.metadata["max_staleness"] >= 1
+
+    def test_ideal_baseline_converges_fastest_per_epoch(self, vqe_problem):
+        theta0 = vqe_problem.random_initial_parameters(seed=11)
+        epochs = 8
+        ideal = IdealTrainer(vqe_problem.estimator, exact=True).train(theta0, epochs)
+        noisy = SingleDeviceTrainer(
+            EnergyObjective(vqe_problem.estimator), "x2", shots=1024, seed=11
+        ).train(theta0, num_epochs=epochs)
+        # after the same number of epochs the noiseless run is at least as low
+        assert ideal.losses[-1] <= noisy.losses[-1] + 0.3
+
+
+class TestQAOAEndToEnd:
+    def test_eqc_qaoa_improves_cut_cost(self, qaoa_problem):
+        theta0 = qaoa_problem.random_initial_parameters(seed=2)
+        history = EQCEnsemble(
+            EnergyObjective(qaoa_problem.estimator),
+            EQCConfig(
+                device_names=("Belem", "Quito", "Bogota", "Manila"),
+                shots=1024,
+                seed=2,
+                learning_rate=0.2,
+            ),
+        ).train(theta0, num_epochs=15)
+        initial_cost = qaoa_problem.normalized_cost(qaoa_problem.energy(theta0))
+        final_cost = qaoa_problem.normalized_cost(history.final_loss(5))
+        assert final_cost < initial_cost
+        assert -1.0 <= final_cost <= 0.0
+
+
+class TestQnnEndToEnd:
+    def test_eqc_trains_a_qnn(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(4, seed=9), num_qubits=4)
+        objective = QnnObjective(problem)
+        theta0 = problem.random_initial_parameters(seed=9)
+        queue = qnn_task_cycle(problem.num_parameters, len(problem.dataset))
+        history = EQCEnsemble(
+            objective,
+            EQCConfig(device_names=("Belem", "Bogota"), shots=1024, seed=9, learning_rate=0.3),
+        ).train(theta0, num_epochs=2, task_queue=queue)
+        assert history.total_updates == 2 * queue.cycle_length
+        assert history.losses[-1] <= problem.dataset_loss(theta0) + 0.05
+
+
+class TestUtilizationClaim:
+    def test_ensemble_spreads_load_across_devices(self, vqe_problem):
+        """EQC keeps every ensemble member busy, unlike single-device training
+        which leaves the rest of the fleet idle (the paper's utilization
+        motivation)."""
+        theta0 = vqe_problem.random_initial_parameters(seed=1)
+        ensemble = EQCEnsemble(
+            EnergyObjective(vqe_problem.estimator),
+            EQCConfig(device_names=("x2", "Belem", "Bogota"), shots=512, seed=1),
+        )
+        history = ensemble.train(theta0, num_epochs=4)
+        utilization = history.metadata["utilization"]
+        busy = [stats["jobs_completed"] for stats in utilization.values()]
+        assert all(jobs > 0 for jobs in busy)

@@ -1,0 +1,121 @@
+"""Tests for calibration snapshots."""
+
+import pytest
+
+from repro.noise.calibration import CalibrationSnapshot, GateCalibration, QubitCalibration
+
+
+def make_snapshot(num_qubits=3, timestamp=0.0, cx_error=0.01):
+    qubits = tuple(
+        QubitCalibration(t1=100e-6, t2=90e-6, readout_p01=0.02, readout_p10=0.03)
+        for _ in range(num_qubits)
+    )
+    singles = tuple(GateCalibration(error=4e-4, duration=35e-9) for _ in range(num_qubits))
+    twos = {
+        (i, i + 1): GateCalibration(error=cx_error, duration=300e-9)
+        for i in range(num_qubits - 1)
+    }
+    return CalibrationSnapshot(
+        device_name="test", timestamp=timestamp, qubits=qubits,
+        single_qubit_gates=singles, two_qubit_gates=twos,
+    )
+
+
+class TestQubitCalibration:
+    def test_valid(self):
+        q = QubitCalibration(t1=100e-6, t2=80e-6, readout_p01=0.01, readout_p10=0.02)
+        assert q.readout_error == pytest.approx(0.015)
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError):
+            QubitCalibration(t1=10e-6, t2=50e-6, readout_p01=0.0, readout_p10=0.0)
+
+    def test_negative_t1_rejected(self):
+        with pytest.raises(ValueError):
+            QubitCalibration(t1=-1.0, t2=1.0, readout_p01=0.0, readout_p10=0.0)
+
+    def test_readout_range_validated(self):
+        with pytest.raises(ValueError):
+            QubitCalibration(t1=1e-4, t2=1e-4, readout_p01=1.5, readout_p10=0.0)
+
+
+class TestGateCalibration:
+    def test_fidelity(self):
+        assert GateCalibration(error=0.02, duration=1e-7).fidelity == pytest.approx(0.98)
+
+    def test_error_range_validated(self):
+        with pytest.raises(ValueError):
+            GateCalibration(error=1.2, duration=1e-7)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            GateCalibration(error=0.1, duration=-1.0)
+
+
+class TestCalibrationSnapshot:
+    def test_averages(self):
+        snap = make_snapshot()
+        assert snap.average_t1 == pytest.approx(100e-6)
+        assert snap.average_readout_error == pytest.approx(0.025)
+        assert snap.average_cx_error == pytest.approx(0.01)
+        assert snap.num_qubits == 3
+
+    def test_single_gate_count_must_match_qubits(self):
+        with pytest.raises(ValueError):
+            CalibrationSnapshot(
+                device_name="bad",
+                timestamp=0.0,
+                qubits=(QubitCalibration(1e-4, 1e-4, 0.0, 0.0),),
+                single_qubit_gates=(),
+            )
+
+    def test_invalid_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            CalibrationSnapshot(
+                device_name="bad",
+                timestamp=0.0,
+                qubits=(QubitCalibration(1e-4, 1e-4, 0.0, 0.0),),
+                single_qubit_gates=(GateCalibration(1e-4, 1e-8),),
+                two_qubit_gates={(0, 5): GateCalibration(0.01, 1e-7)},
+            )
+
+    def test_cx_calibration_lookup_both_directions(self):
+        snap = make_snapshot()
+        assert snap.cx_calibration(0, 1).error == pytest.approx(0.01)
+        assert snap.cx_calibration(1, 0).error == pytest.approx(0.01)
+
+    def test_cx_calibration_missing_pair(self):
+        snap = make_snapshot()
+        with pytest.raises(KeyError):
+            snap.cx_calibration(0, 2)
+
+    def test_age_at(self):
+        snap = make_snapshot(timestamp=100.0)
+        assert snap.age_at(250.0) == pytest.approx(150.0)
+        assert snap.age_at(50.0) == 0.0
+
+    def test_with_timestamp(self):
+        snap = make_snapshot().with_timestamp(3600.0)
+        assert snap.timestamp == pytest.approx(3600.0)
+
+    def test_scale_errors_increases_errors(self):
+        snap = make_snapshot()
+        scaled = snap.scale_errors(2.0)
+        assert scaled.average_cx_error == pytest.approx(0.02)
+        assert scaled.average_readout_error == pytest.approx(0.05)
+        assert scaled.average_t1 == pytest.approx(50e-6)
+
+    def test_scale_errors_clamps_probabilities(self):
+        snap = make_snapshot(cx_error=0.4)
+        scaled = snap.scale_errors(5.0)
+        assert scaled.average_cx_error <= 1.0
+
+    def test_scale_errors_keeps_t2_physical(self):
+        snap = make_snapshot()
+        scaled = snap.scale_errors(3.0)
+        for q in scaled.qubits:
+            assert q.t2 <= 2 * q.t1 + 1e-15
+
+    def test_scale_errors_invalid_factor(self):
+        with pytest.raises(ValueError):
+            make_snapshot().scale_errors(0.0)

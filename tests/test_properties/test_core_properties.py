@@ -1,0 +1,115 @@
+"""Property-based tests for Pauli algebra, weighting, routing and the ASGD rule."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.core.weighting import WeightBounds, normalize_weights
+from repro.devices.topology import line_topology, t_shape_topology
+from repro.hamiltonian.grouping import group_qubitwise_commuting
+from repro.hamiltonian.pauli import PauliString, PauliSum
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.layout import select_layout
+from repro.transpiler.routing import route_circuit
+from repro.vqa.optimizer import AsgdRule
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=4, max_size=4)
+coefficients = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+class TestPauliProperties:
+    @given(label=pauli_labels, bits=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=60, deadline=None)
+    def test_bitstring_eigenvalue_matches_diagonal_matrix(self, label, bits):
+        """For diagonal strings the parity eigenvalue equals the matrix diagonal."""
+        diagonal_label = label.replace("X", "Z").replace("Y", "Z")
+        term = PauliString(diagonal_label)
+        bitstring = format(bits, "04b")
+        matrix = term.to_matrix()
+        assert term.eigenvalue_of_bitstring(bitstring) == int(round(matrix[bits, bits].real))
+
+    @given(entries=st.dictionaries(pauli_labels, coefficients, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_preserves_matrix(self, entries):
+        h = PauliSum([PauliString(l, c) for l, c in entries.items()])
+        assert np.allclose(h.to_matrix(), h.simplify().to_matrix(), atol=1e-9)
+
+    @given(entries=st.dictionaries(pauli_labels, coefficients, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_grouping_is_a_partition(self, entries):
+        h = PauliSum([PauliString(l, c) for l, c in entries.items()])
+        groups = group_qubitwise_commuting(h)
+        grouped_terms = [t for g in groups for t in g.terms]
+        assert len(grouped_terms) == len(h)
+        for group in groups:
+            for term in group.terms:
+                for qubit, char in enumerate(term.label):
+                    assert char == "I" or group.basis[qubit] == char
+
+    @given(entries=st.dictionaries(pauli_labels, coefficients, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_ground_energy_bounded_by_coefficient_sum(self, entries):
+        h = PauliSum([PauliString(l, c) for l, c in entries.items()])
+        bound = sum(abs(c) for c in entries.values())
+        assert h.ground_state_energy() >= -bound - 1e-9
+
+
+class TestWeightingProperties:
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12),
+        low=st.floats(min_value=0.0, max_value=1.0),
+        width=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_weights_respect_bounds_and_ordering(self, values, low, width):
+        bounds = WeightBounds(low, low + width)
+        named = {f"d{i}": v for i, v in enumerate(values)}
+        weights = normalize_weights(named, bounds)
+        assert set(weights) == set(named)
+        for weight in weights.values():
+            assert bounds.low - 1e-9 <= weight <= bounds.high + 1e-9
+        # monotone: better PCorrect never gets a lower weight
+        ordered = sorted(named, key=named.get)
+        for first, second in zip(ordered, ordered[1:]):
+            assert weights[first] <= weights[second] + 1e-9
+
+
+class TestAsgdProperties:
+    @given(
+        value=st.floats(-10, 10),
+        gradient=st.floats(-10, 10),
+        weight=st.floats(0, 2),
+        lr=st.floats(0.001, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_step_moves_against_gradient(self, value, gradient, weight, lr):
+        new_value = AsgdRule(learning_rate=lr).step(value, gradient, weight)
+        assert math.isclose(new_value, value - weight * lr * gradient, rel_tol=1e-12, abs_tol=1e-12)
+
+
+class TestRoutingProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_routing_only_uses_coupled_pairs(self, pairs):
+        circuit = QuantumCircuit(4)
+        for a, b in pairs:
+            if a != b:
+                circuit.cx(a, b)
+        if len(circuit) == 0:
+            return
+        circuit.measure_all()
+        for topology in (line_topology(5), t_shape_topology()):
+            basis = decompose_to_basis(circuit)
+            layout = select_layout(basis, topology)
+            routed = route_circuit(basis, topology, layout)
+            for inst in routed.circuit:
+                if inst.name == "cx":
+                    assert topology.are_connected(*inst.qubits)
+            assert routed.circuit.num_measurements == 4

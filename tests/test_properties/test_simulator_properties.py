@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for simulator invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.simulator.channels import readout_confusion_matrix
+from repro.simulator.mixing import MixingNoiseSpec, noisy_probabilities
+from repro.simulator.sampler import apply_readout_error, sample_distribution
+from repro.simulator.statevector import Statevector, simulate_statevector
+
+angles = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def random_circuit(num_qubits: int, moves: list[tuple[int, int, float]]) -> QuantumCircuit:
+    """Build a circuit from a list of (gate selector, qubit, angle) moves."""
+    qc = QuantumCircuit(num_qubits)
+    gates_1q = ["h", "x", "sx"]
+    for selector, qubit, angle in moves:
+        qubit_a = qubit % num_qubits
+        kind = selector % 5
+        if kind == 0:
+            qc.add_gate(gates_1q[selector % 3], [qubit_a])
+        elif kind == 1:
+            qc.ry(angle, qubit_a)
+        elif kind == 2:
+            qc.rz(angle, qubit_a)
+        elif kind == 3:
+            qc.rx(angle, qubit_a)
+        else:
+            qubit_b = (qubit_a + 1) % num_qubits
+            qc.cx(qubit_a, qubit_b)
+    return qc
+
+
+moves_strategy = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 3), angles), min_size=1, max_size=25
+)
+
+
+class TestStatevectorInvariants:
+    @given(moves=moves_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_norm_preserved_by_any_circuit(self, moves):
+        circuit = random_circuit(3, moves)
+        state = simulate_statevector(circuit)
+        assert np.isclose(np.sum(state.probabilities()), 1.0, atol=1e-9)
+
+    @given(moves=moves_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_pauli_expectations_bounded(self, moves):
+        circuit = random_circuit(3, moves)
+        state = simulate_statevector(circuit)
+        for label in ("ZII", "XXI", "ZZZ", "YIY"):
+            value = state.expectation_pauli(label)
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(theta=angles)
+    @settings(max_examples=40, deadline=None)
+    def test_ry_probability_matches_analytic_form(self, theta):
+        state = Statevector(1)
+        state.apply_gate("ry", [0], [theta])
+        probs = state.probabilities()
+        assert np.isclose(probs[1], math.sin(theta / 2.0) ** 2, atol=1e-9)
+
+
+class TestSamplingInvariants:
+    @given(
+        weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=8),
+        shots=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_counts_sum_to_shots(self, weights, shots):
+        size = 1 << max(1, (len(weights) - 1).bit_length())
+        probs = np.zeros(size)
+        probs[: len(weights)] = weights
+        counts = sample_distribution(probs, shots, np.random.default_rng(0))
+        assert sum(counts.values()) == shots
+
+    @given(p01=probabilities, p10=probabilities)
+    @settings(max_examples=40, deadline=None)
+    def test_readout_error_preserves_total_probability(self, p01, p10):
+        probs = np.array([0.4, 0.1, 0.2, 0.3])
+        matrices = [readout_confusion_matrix(p01, p10)] * 2
+        out = apply_readout_error(probs, matrices)
+        assert np.isclose(out.sum(), 1.0, atol=1e-9)
+        assert np.all(out >= -1e-12)
+
+
+class TestMixingInvariants:
+    @given(success=probabilities, p01=st.floats(0, 0.3), p10=st.floats(0, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_noisy_distribution_is_a_distribution(self, success, p01, p10):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.measure_all()
+        spec = MixingNoiseSpec(
+            success_probability=success, readout_p01=p01, readout_p10=p10
+        )
+        probs = noisy_probabilities(circuit, spec)
+        assert np.isclose(probs.sum(), 1.0, atol=1e-9)
+        assert np.all(probs >= -1e-12)
+
+    @given(success=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ghz_error_mass_scales_with_success(self, success):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.measure_all()
+        probs = noisy_probabilities(circuit, MixingNoiseSpec(success_probability=success))
+        error_mass = 1.0 - probs[0] - probs[-1]
+        expected = (1.0 - success) * (6.0 / 8.0)
+        assert np.isclose(error_mass, expected, atol=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for the Kraus noise channels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulator.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    readout_confusion_matrix,
+    thermal_relaxation_channel,
+    two_qubit_depolarizing_channel,
+)
+
+
+def _is_trace_preserving(channel: KrausChannel) -> bool:
+    dim = channel.operators[0].shape[0]
+    total = sum(op.conj().T @ op for op in channel.operators)
+    return np.allclose(total, np.eye(dim), atol=1e-9)
+
+
+class TestChannelConstruction:
+    def test_non_trace_preserving_rejected(self):
+        with pytest.raises(ValueError):
+            KrausChannel("bad", (np.eye(2) * 0.5,))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            KrausChannel("bad", (np.eye(2), np.eye(4)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KrausChannel("bad", ())
+
+    def test_num_qubits(self):
+        assert depolarizing_channel(0.1).num_qubits == 1
+        assert two_qubit_depolarizing_channel(0.1).num_qubits == 2
+
+    def test_identity_detection(self):
+        assert depolarizing_channel(0.0).is_identity()
+        assert not depolarizing_channel(0.1).is_identity()
+
+
+@pytest.mark.parametrize(
+    "factory,args",
+    [
+        (depolarizing_channel, (0.05,)),
+        (two_qubit_depolarizing_channel, (0.1,)),
+        (amplitude_damping_channel, (0.2,)),
+        (phase_damping_channel, (0.3,)),
+        (bit_flip_channel, (0.25,)),
+        (thermal_relaxation_channel, (100e-6, 80e-6, 300e-9)),
+    ],
+)
+def test_channels_are_trace_preserving(factory, args):
+    assert _is_trace_preserving(factory(*args))
+
+
+class TestSpecificChannels:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5)
+        with pytest.raises(ValueError):
+            amplitude_damping_channel(-0.1)
+
+    def test_amplitude_damping_decays_excited_state(self):
+        gamma = 0.3
+        channel = amplitude_damping_channel(gamma)
+        excited = np.array([0.0, 1.0], dtype=complex)
+        population = sum(
+            abs((op @ excited)[1]) ** 2 for op in channel.operators
+        )
+        assert population == pytest.approx(1 - gamma)
+
+    def test_thermal_relaxation_unphysical_rejected(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(10e-6, 50e-6, 100e-9)  # T2 > 2*T1
+
+    def test_thermal_relaxation_zero_duration_is_identity_like(self):
+        channel = thermal_relaxation_channel(100e-6, 80e-6, 0.0)
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = sum(op @ rho @ op.conj().T for op in channel.operators)
+        assert np.allclose(out, rho, atol=1e-12)
+
+    def test_thermal_relaxation_shrinks_coherence(self):
+        t1, t2, dt = 100e-6, 60e-6, 50e-6
+        channel = thermal_relaxation_channel(t1, t2, dt)
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = sum(op @ rho @ op.conj().T for op in channel.operators)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * math.exp(-dt / t2), rel=1e-6)
+
+    def test_two_qubit_depolarizing_operator_count(self):
+        assert len(two_qubit_depolarizing_channel(0.1).operators) == 16
+
+
+class TestReadoutConfusion:
+    def test_columns_are_stochastic(self):
+        conf = readout_confusion_matrix(0.03, 0.07)
+        assert np.allclose(conf.sum(axis=0), [1.0, 1.0])
+
+    def test_perfect_readout_is_identity(self):
+        assert np.allclose(readout_confusion_matrix(0.0, 0.0), np.eye(2))
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            readout_confusion_matrix(1.2, 0.0)
+
+    def test_asymmetric_entries(self):
+        conf = readout_confusion_matrix(0.1, 0.2)
+        assert conf[1, 0] == pytest.approx(0.1)  # read 1 given true 0
+        assert conf[0, 1] == pytest.approx(0.2)  # read 0 given true 1

@@ -1,0 +1,116 @@
+"""Tests for the analytic mixing (fast noisy) executor."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, ghz_state
+from repro.simulator.mixing import (
+    MixingNoiseSpec,
+    apply_coherent_bias,
+    execute_with_mixing,
+    noisy_probabilities,
+)
+
+
+class TestMixingNoiseSpec:
+    def test_valid_spec(self):
+        spec = MixingNoiseSpec(success_probability=0.9, readout_p01=0.02, readout_p10=0.03)
+        assert spec.success_probability == pytest.approx(0.9)
+
+    def test_out_of_range_success_rejected(self):
+        with pytest.raises(ValueError):
+            MixingNoiseSpec(success_probability=1.2)
+
+    def test_out_of_range_readout_rejected(self):
+        with pytest.raises(ValueError):
+            MixingNoiseSpec(success_probability=0.9, readout_p01=2.0)
+
+    def test_per_qubit_readout_validated(self):
+        with pytest.raises(ValueError):
+            MixingNoiseSpec(success_probability=0.9, per_qubit_readout=((1.5, 0.0),))
+
+
+class TestCoherentBias:
+    def test_zero_bias_returns_same_circuit(self):
+        qc = QuantumCircuit(1).ry(0.5, 0)
+        assert apply_coherent_bias(qc, 0.0) is qc
+
+    def test_rotation_angles_scaled(self):
+        qc = QuantumCircuit(1).ry(1.0, 0).rz(2.0, 0)
+        biased = apply_coherent_bias(qc, 0.1)
+        assert biased.instructions[0].params == (pytest.approx(1.1),)
+        assert biased.instructions[1].params == (pytest.approx(2.2),)
+
+    def test_discrete_gates_untouched(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        biased = apply_coherent_bias(qc, 0.5)
+        assert [i.name for i in biased] == ["h", "cx"]
+
+    def test_unbound_circuit_rejected(self):
+        from repro.circuit import Parameter
+
+        qc = QuantumCircuit(1).ry(Parameter("a"), 0)
+        with pytest.raises(ValueError):
+            apply_coherent_bias(qc, 0.1)
+
+
+class TestNoisyProbabilities:
+    def test_perfect_execution_matches_ideal(self):
+        circuit = ghz_state(3)
+        probs = noisy_probabilities(circuit, MixingNoiseSpec(success_probability=1.0))
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_zero_success_gives_uniform(self):
+        circuit = ghz_state(3)
+        probs = noisy_probabilities(circuit, MixingNoiseSpec(success_probability=0.0))
+        assert np.allclose(probs, 1.0 / 8.0)
+
+    def test_mixing_interpolates(self):
+        circuit = ghz_state(2)
+        probs = noisy_probabilities(circuit, MixingNoiseSpec(success_probability=0.5))
+        # 0.5 * [0.5, 0, 0, 0.5] + 0.5 * uniform(0.25)
+        assert probs[0] == pytest.approx(0.375)
+        assert probs[1] == pytest.approx(0.125)
+
+    def test_readout_error_spreads_mass(self):
+        circuit = QuantumCircuit(1).measure_all()
+        probs = noisy_probabilities(
+            circuit, MixingNoiseSpec(success_probability=1.0, readout_p01=0.1, readout_p10=0.0)
+        )
+        assert probs[1] == pytest.approx(0.1)
+
+    def test_distribution_normalized(self):
+        circuit = ghz_state(4)
+        probs = noisy_probabilities(
+            circuit,
+            MixingNoiseSpec(success_probability=0.7, readout_p01=0.05, readout_p10=0.08),
+        )
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_unbound_circuit_rejected(self):
+        from repro.circuit import Parameter
+
+        qc = QuantumCircuit(1).ry(Parameter("a"), 0).measure_all()
+        with pytest.raises(ValueError):
+            noisy_probabilities(qc, MixingNoiseSpec(success_probability=1.0))
+
+
+class TestExecuteWithMixing:
+    def test_counts_total(self, rng):
+        counts = execute_with_mixing(
+            ghz_state(3), MixingNoiseSpec(success_probability=0.8), 512, rng
+        )
+        assert counts.shots == 512
+        assert sum(counts.values()) == 512
+
+    def test_noise_introduces_non_ghz_outcomes(self, rng):
+        counts = execute_with_mixing(
+            ghz_state(3), MixingNoiseSpec(success_probability=0.3), 5000, rng
+        )
+        bad = {k for k in counts if k not in ("000", "111")}
+        assert bad
+
+    def test_zero_shots_rejected(self, rng):
+        with pytest.raises(ValueError):
+            execute_with_mixing(ghz_state(2), MixingNoiseSpec(success_probability=1.0), 0, rng)

@@ -1,0 +1,74 @@
+"""Tests for the Monte-Carlo trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Parameter, QuantumCircuit, ghz_state
+from repro.simulator.trajectory import MonteCarloSimulator, TrajectoryNoiseSpec
+
+
+class TestTrajectoryNoiseSpec:
+    def test_defaults_are_physical(self):
+        spec = TrajectoryNoiseSpec()
+        assert 0 <= spec.two_qubit_error <= 1
+        assert spec.t2 <= 2 * spec.t1
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryNoiseSpec(t1=10e-6, t2=50e-6)
+
+    def test_error_range_validated(self):
+        with pytest.raises(ValueError):
+            TrajectoryNoiseSpec(single_qubit_error=1.5)
+
+
+class TestMonteCarloSimulator:
+    def test_noiseless_spec_reproduces_ideal(self):
+        spec = TrajectoryNoiseSpec(
+            single_qubit_error=0.0,
+            two_qubit_error=0.0,
+            t1=1.0,
+            t2=1.0,
+            readout_p01=0.0,
+            readout_p10=0.0,
+        )
+        sim = MonteCarloSimulator(spec, seed=1)
+        counts = sim.run(ghz_state(3), shots=300, trajectories=10)
+        assert set(counts.keys()) == {"000", "111"}
+
+    def test_noise_produces_errors(self):
+        spec = TrajectoryNoiseSpec(single_qubit_error=0.05, two_qubit_error=0.15)
+        sim = MonteCarloSimulator(spec, seed=2)
+        counts = sim.run(ghz_state(3), shots=600, trajectories=60)
+        bad = sum(v for k, v in counts.items() if k not in ("000", "111"))
+        assert bad > 0
+
+    def test_shot_count_preserved(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=3)
+        counts = sim.run(ghz_state(2), shots=123, trajectories=7)
+        assert sum(counts.values()) == 123
+
+    def test_unbound_circuit_rejected(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=0)
+        qc = QuantumCircuit(1).ry(Parameter("a"), 0).measure_all()
+        with pytest.raises(ValueError):
+            sim.run(qc)
+
+    def test_invalid_shots_rejected(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=0)
+        with pytest.raises(ValueError):
+            sim.run(ghz_state(2), shots=0)
+
+    def test_average_probabilities_normalized(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=4)
+        probs = sim.average_probabilities(ghz_state(2), trajectories=32)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_agrees_with_mixing_on_error_scale(self):
+        """Trajectory and mixing models should both show a few-percent GHZ error
+        for typical calibration numbers (coarse agreement, not equality)."""
+        spec = TrajectoryNoiseSpec(single_qubit_error=0.001, two_qubit_error=0.02)
+        sim = MonteCarloSimulator(spec, seed=5)
+        probs = sim.average_probabilities(ghz_state(3), trajectories=200)
+        error = 1.0 - probs[0] - probs[-1]
+        assert 0.0 < error < 0.25

@@ -1,0 +1,97 @@
+"""Tests for SWAP-insertion routing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, ghz_state, hardware_efficient_ansatz
+from repro.devices.topology import (
+    fully_connected_topology,
+    line_topology,
+    t_shape_topology,
+    toronto_topology,
+)
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.layout import Layout, select_layout
+from repro.transpiler.routing import route_circuit
+
+
+def trivial_layout(circuit, topology):
+    return Layout({q: q for q in range(circuit.num_qubits)}, topology.num_qubits)
+
+
+class TestRoutingRespectsTopology:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [lambda: line_topology(5), t_shape_topology, lambda: fully_connected_topology(5), toronto_topology],
+    )
+    def test_all_two_qubit_gates_on_coupled_pairs(self, topology_factory):
+        topology = topology_factory()
+        circuit = decompose_to_basis(hardware_efficient_ansatz(4))
+        layout = select_layout(circuit, topology)
+        result = route_circuit(circuit, topology, layout)
+        for inst in result.circuit:
+            if inst.name == "cx":
+                assert topology.are_connected(*inst.qubits)
+
+    def test_fully_connected_needs_no_swaps(self):
+        topology = fully_connected_topology(5)
+        circuit = decompose_to_basis(hardware_efficient_ansatz(4))
+        result = route_circuit(circuit, topology, trivial_layout(circuit, topology))
+        assert result.num_swaps == 0
+
+    def test_linear_circuit_on_line_needs_no_swaps(self):
+        topology = line_topology(5)
+        circuit = decompose_to_basis(ghz_state(4))
+        result = route_circuit(circuit, topology, trivial_layout(circuit, topology))
+        assert result.num_swaps == 0
+
+    def test_distant_cnot_requires_swaps(self):
+        topology = line_topology(5)
+        circuit = QuantumCircuit(5).cx(0, 4)
+        result = route_circuit(circuit, topology, trivial_layout(circuit, topology))
+        assert result.num_swaps == 3
+        # SWAPs expand to 3 CNOTs each, plus the original CNOT
+        assert result.circuit.count_ops()["cx"] == 3 * 3 + 1
+
+
+class TestRoutingBookkeeping:
+    def test_final_layout_tracks_swaps(self):
+        topology = line_topology(3)
+        circuit = QuantumCircuit(3).cx(0, 2)
+        result = route_circuit(circuit, topology, trivial_layout(circuit, topology))
+        # logical 0 was swapped to physical 1 to reach logical 2 on physical 2
+        assert result.final_layout.physical(0) == 1
+
+    def test_measurements_follow_their_logical_qubit(self):
+        topology = line_topology(3)
+        circuit = QuantumCircuit(3).cx(0, 2).measure(0)
+        result = route_circuit(circuit, topology, trivial_layout(circuit, topology))
+        measure = [i for i in result.circuit if i.is_measurement][0]
+        assert measure.qubits[0] == result.final_layout.physical(0)
+
+    def test_single_qubit_gates_remapped(self):
+        topology = line_topology(4)
+        circuit = QuantumCircuit(2).h(1)
+        layout = Layout({0: 3, 1: 2}, num_physical=4)
+        result = route_circuit(circuit, topology, layout)
+        assert result.circuit.instructions[0].qubits == (2,)
+
+    def test_routed_width_is_device_width(self):
+        topology = toronto_topology()
+        circuit = decompose_to_basis(ghz_state(4))
+        layout = select_layout(circuit, topology)
+        result = route_circuit(circuit, topology, layout)
+        assert result.circuit.num_qubits == 27
+
+    def test_incomplete_layout_rejected(self):
+        topology = line_topology(3)
+        circuit = QuantumCircuit(3).cx(0, 2)
+        with pytest.raises(ValueError):
+            route_circuit(circuit, topology, Layout({0: 0}, 3))
+
+    def test_routing_preserves_measurement_count(self):
+        topology = t_shape_topology()
+        circuit = decompose_to_basis(ghz_state(5))
+        layout = select_layout(circuit, topology)
+        result = route_circuit(circuit, topology, layout)
+        assert result.circuit.num_measurements == 5

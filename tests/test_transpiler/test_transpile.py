@@ -1,0 +1,68 @@
+"""Tests for the end-to-end transpilation pipeline."""
+
+import pytest
+
+from repro.circuit import BASIS_GATES, ghz_state, hardware_efficient_ansatz
+from repro.devices.catalog import device_spec
+from repro.devices.topology import fully_connected_topology, line_topology, t_shape_topology
+from repro.transpiler.metrics import circuit_footprint, swap_overhead
+from repro.transpiler.transpile import transpile
+
+
+class TestTranspilePipeline:
+    def test_output_is_in_basis_alphabet(self):
+        result = transpile(hardware_efficient_ansatz(4), t_shape_topology())
+        allowed = set(BASIS_GATES) | {"measure", "barrier"}
+        assert {inst.name for inst in result.physical_circuit} <= allowed
+
+    def test_parameters_survive_transpilation(self):
+        ansatz = hardware_efficient_ansatz(4, measure=False)
+        result = transpile(ansatz, line_topology(5))
+        assert result.physical_circuit.parameters == ansatz.parameters
+
+    def test_footprint_matches_physical_circuit(self):
+        result = transpile(ghz_state(4), t_shape_topology())
+        recomputed = circuit_footprint(result.physical_circuit)
+        assert recomputed == result.footprint
+
+    def test_footprint_records_used_couplings(self):
+        result = transpile(ghz_state(4), line_topology(5))
+        assert result.footprint.used_couplings
+        for a, b in result.footprint.used_couplings:
+            assert line_topology(5).are_connected(a, b)
+
+    def test_swap_overhead_helper(self):
+        topology = t_shape_topology()
+        result = transpile(hardware_efficient_ansatz(4), topology)
+        overhead = swap_overhead(result.logical_circuit, result.physical_circuit)
+        assert overhead == result.swap_cnot_overhead == 3 * result.num_swaps
+
+
+class TestTopologyDependence:
+    """The Fig. 3 observation: the same circuit costs more on sparser maps."""
+
+    def test_fully_connected_cheapest(self):
+        ansatz = hardware_efficient_ansatz(4)
+        full = transpile(ansatz, fully_connected_topology(5))
+        t_shape = transpile(ansatz, t_shape_topology())
+        assert full.num_swaps == 0
+        assert full.footprint.num_two_qubit_gates <= t_shape.footprint.num_two_qubit_gates
+
+    def test_catalog_device_ordering(self):
+        """x2 (fully connected) must pay fewer entangling gates than Belem
+        (T-shape) for the Fig. 8 ansatz, as Figure 3 illustrates."""
+        ansatz = hardware_efficient_ansatz(4)
+        x2 = transpile(ansatz, device_spec("x2").topology)
+        belem = transpile(ansatz, device_spec("Belem").topology)
+        assert x2.footprint.num_two_qubit_gates < belem.footprint.num_two_qubit_gates
+
+    def test_critical_depth_grows_with_swaps(self):
+        ansatz = hardware_efficient_ansatz(4)
+        full = transpile(ansatz, fully_connected_topology(5))
+        t_shape = transpile(ansatz, t_shape_topology())
+        assert t_shape.footprint.critical_depth >= full.footprint.critical_depth
+
+    def test_wider_device_than_circuit_is_fine(self):
+        result = transpile(ghz_state(3), device_spec("Toronto").topology)
+        assert result.physical_circuit.num_qubits == 27
+        assert result.footprint.num_measurements == 3

@@ -1,0 +1,134 @@
+"""Tests for the VQE, QAOA and QNN problem definitions."""
+
+import numpy as np
+import pytest
+
+from repro.vqa.qaoa import ring_maxcut_qaoa_problem
+from repro.vqa.qnn import QNNDataset, QNNProblem, make_synthetic_dataset, two_moons_like_dataset
+from repro.vqa.vqe import heisenberg_vqe_problem
+
+
+class TestVQEProblem:
+    def test_paper_dimensions(self, vqe_problem):
+        assert vqe_problem.num_qubits == 4
+        assert vqe_problem.num_parameters == 16
+
+    def test_ground_energy(self, vqe_problem):
+        assert vqe_problem.ground_energy == pytest.approx(-8.0, abs=1e-9)
+
+    def test_energy_at_zero(self, vqe_problem):
+        assert vqe_problem.energy([0.0] * 16) == pytest.approx(8.0)
+
+    def test_error_vs_ground(self, vqe_problem):
+        assert vqe_problem.error_vs_ground(-8.0) == pytest.approx(0.0)
+        assert vqe_problem.error_vs_ground(-7.2) == pytest.approx(0.1)
+
+    def test_initial_parameters_reproducible(self, vqe_problem):
+        a = vqe_problem.random_initial_parameters(seed=5)
+        b = vqe_problem.random_initial_parameters(seed=5)
+        assert np.allclose(a, b)
+        assert a.shape == (16,)
+
+    def test_layers_scale_parameters(self):
+        problem = heisenberg_vqe_problem(num_layers=2)
+        assert problem.num_parameters == 32
+
+
+class TestQAOAProblem:
+    def test_paper_dimensions(self, qaoa_problem):
+        assert qaoa_problem.num_qubits == 4
+        assert qaoa_problem.num_parameters == 2
+        assert qaoa_problem.num_edges == 4
+
+    def test_optimal_cut(self, qaoa_problem):
+        assert qaoa_problem.optimal_cut_value == pytest.approx(4.0)
+        assert qaoa_problem.ground_energy == pytest.approx(-4.0)
+
+    def test_normalized_cost_range(self, qaoa_problem):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            theta = rng.uniform(-np.pi, np.pi, 2)
+            cost = qaoa_problem.normalized_cost(qaoa_problem.energy(theta))
+            assert -1.0 <= cost <= 0.0
+
+    def test_qaoa_landscape_has_good_points(self, qaoa_problem):
+        """A coarse grid over the 2-parameter landscape must reach at least
+        ~0.7 approximation ratio (known p=1 behaviour on the ring)."""
+        best = 0.0
+        for beta in np.linspace(0, np.pi, 10):
+            for alpha in np.linspace(0, np.pi, 10):
+                ratio = qaoa_problem.approximation_ratio(qaoa_problem.energy([beta, alpha]))
+                best = max(best, ratio)
+        assert best > 0.7
+
+    def test_cut_of_bitstring(self, qaoa_problem):
+        assert qaoa_problem.cut_of_bitstring("0101") == pytest.approx(4.0)
+
+
+class TestQNN:
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            QNNDataset(((0.1,),), (2,))
+        with pytest.raises(ValueError):
+            QNNDataset(((0.1,), (0.2, 0.3)), (1, -1))
+        with pytest.raises(ValueError):
+            QNNDataset((), ())
+
+    def test_synthetic_dataset(self):
+        ds = make_synthetic_dataset(num_samples=10, feature_dimension=4, seed=1)
+        assert len(ds) == 10
+        assert ds.feature_dimension == 4
+        assert set(ds.labels) <= {-1, 1}
+
+    def test_two_moons_dataset(self):
+        ds = two_moons_like_dataset(num_samples=12)
+        assert len(ds) == 12
+        assert ds.feature_dimension == 4
+
+    def test_problem_dimensions(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(8), num_qubits=4)
+        assert problem.num_parameters == 4
+
+    def test_prediction_in_range(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(6), num_qubits=4)
+        theta = problem.random_initial_parameters()
+        for index in range(len(problem.dataset)):
+            assert -1.0 <= problem.prediction(theta, index) <= 1.0
+
+    def test_dataset_loss_is_mean_of_sample_losses(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(5), num_qubits=4)
+        theta = problem.random_initial_parameters()
+        per_sample = [problem.sample_loss(theta, i) for i in range(5)]
+        assert problem.dataset_loss(theta) == pytest.approx(np.mean(per_sample))
+
+    def test_accuracy_bounds(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(6), num_qubits=4)
+        accuracy = problem.accuracy(problem.random_initial_parameters())
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_sample_gradient_matches_finite_difference(self):
+        problem = QNNProblem("qnn", make_synthetic_dataset(4), num_qubits=4)
+        theta = problem.random_initial_parameters()
+        index, data_index = 1, 2
+        gradient = problem.sample_gradient(theta, index, data_index)
+        eps = 1e-5
+        plus, minus = theta.copy(), theta.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        fd = (problem.sample_loss(plus, data_index) - problem.sample_loss(minus, data_index)) / (
+            2 * eps
+        )
+        assert gradient == pytest.approx(fd, abs=1e-4)
+
+    def test_training_reduces_loss(self):
+        """A few epochs of exact gradient descent must reduce the dataset loss."""
+        problem = QNNProblem("qnn", make_synthetic_dataset(6, seed=2), num_qubits=4)
+        theta = problem.random_initial_parameters().copy()
+        initial = problem.dataset_loss(theta)
+        for _ in range(10):
+            for p in range(problem.num_parameters):
+                gradient = np.mean(
+                    [problem.sample_gradient(theta, p, d) for d in range(len(problem.dataset))]
+                )
+                theta[p] -= 0.2 * gradient
+        assert problem.dataset_loss(theta) < initial

@@ -1,0 +1,69 @@
+"""Tests for the cyclic task decomposition."""
+
+import pytest
+
+from repro.vqa.tasks import CyclicTaskQueue, GradientTask, qnn_task_cycle, vqe_task_cycle
+
+
+class TestGradientTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientTask(task_id=-1, parameter_index=0)
+        with pytest.raises(ValueError):
+            GradientTask(task_id=0, parameter_index=-1)
+        with pytest.raises(ValueError):
+            GradientTask(task_id=0, parameter_index=0, data_index=-2)
+
+
+class TestCyclicTaskQueue:
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicTaskQueue([])
+
+    def test_cyclic_parameter_order(self):
+        queue = vqe_task_cycle(3)
+        indices = [queue.next_task().parameter_index for _ in range(7)]
+        assert indices == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_task_ids_increase(self):
+        queue = vqe_task_cycle(2)
+        ids = [queue.next_task().task_id for _ in range(4)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_epoch_accounting(self):
+        queue = vqe_task_cycle(4)
+        assert queue.epochs_started == 0
+        for _ in range(4):
+            queue.next_task()
+        assert queue.epochs_started == 1
+        queue.next_task()
+        assert queue.epochs_started == 2
+
+    def test_epoch_of_task(self):
+        queue = vqe_task_cycle(4)
+        tasks = [queue.next_task() for _ in range(9)]
+        assert queue.epoch_of_task(tasks[0]) == 0
+        assert queue.epoch_of_task(tasks[3]) == 0
+        assert queue.epoch_of_task(tasks[4]) == 1
+        assert queue.epoch_of_task(tasks[8]) == 2
+
+    def test_vqe_cycle_has_no_data_indices(self):
+        queue = vqe_task_cycle(2)
+        assert queue.next_task().data_index is None
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            vqe_task_cycle(0)
+        with pytest.raises(ValueError):
+            qnn_task_cycle(0, 5)
+
+
+class TestQnnCycle:
+    def test_cycle_length(self):
+        queue = qnn_task_cycle(num_parameters=3, num_datapoints=4)
+        assert queue.cycle_length == 12
+
+    def test_covers_every_pair(self):
+        queue = qnn_task_cycle(2, 3)
+        pairs = {(t.parameter_index, t.data_index) for t in (queue.next_task() for _ in range(6))}
+        assert pairs == {(p, d) for p in range(2) for d in range(3)}
