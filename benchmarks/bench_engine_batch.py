@@ -1,0 +1,110 @@
+"""Engine benchmark — batched vs sequential statevector execution.
+
+Measures the wall time of a 5-qubit, 8-parameter parameter-shift sweep
+(8 parameters x forward/backward = 16 structurally identical circuits)
+through the looped reference simulator and through the vectorized batch
+engine, and records the result in ``BENCH_engine.json`` at the repository
+root so the performance trajectory of the execution layer is tracked
+across PRs.  The batched engine must hold at least a 3x advantage.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import BatchedStatevectorBackend, StatevectorBackend
+from repro.circuit import hardware_efficient_ansatz
+from repro.vqa.gradient import shifted_parameter_vectors
+
+NUM_QUBITS = 5
+NUM_PARAMETERS = 8
+REPEATS = 15
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def build_sweep_batch() -> list:
+    """The 16 bound circuits of an 8-parameter shift sweep."""
+    template = hardware_efficient_ansatz(NUM_QUBITS)
+    rng = np.random.default_rng(20260729)
+    theta = rng.uniform(-np.pi, np.pi, len(template.ordered_parameters()))
+    circuits = []
+    for index in range(NUM_PARAMETERS):
+        pair = shifted_parameter_vectors(theta, index)
+        circuits.append(template.assign_by_order(pair.forward))
+        circuits.append(template.assign_by_order(pair.backward))
+    return circuits
+
+
+def time_backend(backend, circuits, repeats: int = REPEATS) -> float:
+    """Best-of-N wall time of one full-batch probability computation."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backend.probabilities(circuits)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_engine_benchmark() -> dict:
+    circuits = build_sweep_batch()
+    sequential = StatevectorBackend()
+    batched = BatchedStatevectorBackend()
+
+    # parity guard: a speedup over wrong answers is worthless
+    max_delta = max(
+        float(np.max(np.abs(b - s)))
+        for b, s in zip(batched.probabilities(circuits), sequential.probabilities(circuits))
+    )
+
+    sequential_seconds = time_backend(sequential, circuits)
+    batched_seconds = time_backend(batched, circuits)
+    return {
+        "benchmark": "engine_batch",
+        "config": {
+            "num_qubits": NUM_QUBITS,
+            "num_parameters": NUM_PARAMETERS,
+            "batch_size": len(circuits),
+            "repeats": REPEATS,
+        },
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": sequential_seconds / batched_seconds,
+        "max_probability_delta": max_delta,
+    }
+
+
+def check_and_record(result: dict) -> None:
+    """Persist the result and enforce the acceptance criteria.
+
+    Shared by the pytest entry point and the CLI so CI fails loudly on a
+    parity break or a speedup regression no matter how it runs this file.
+    """
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["max_probability_delta"] <= 1e-10, (
+        f"batched/sequential parity broken: {result['max_probability_delta']:.3e}"
+    )
+    assert result["speedup"] >= 3.0, (
+        f"batched engine regressed below 3x: {result['speedup']:.2f}x"
+    )
+
+
+def test_engine_batch_speedup():
+    result = run_engine_benchmark()
+    print("\n=== Engine: batched vs sequential (16-circuit sweep) ===")
+    print(
+        f"sequential {result['sequential_seconds'] * 1e3:.2f} ms | "
+        f"batched {result['batched_seconds'] * 1e3:.2f} ms | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"max |dp| {result['max_probability_delta']:.1e}"
+    )
+    check_and_record(result)
+
+
+if __name__ == "__main__":
+    result = run_engine_benchmark()
+    print(json.dumps(result, indent=2))
+    check_and_record(result)

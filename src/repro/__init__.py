@@ -18,6 +18,13 @@ Quickstart::
     print(history.final_loss(), "vs ground", problem.ground_energy)
 """
 
+from .backends import (
+    BatchedStatevectorBackend,
+    ExecutionBackend,
+    NoisyBackend,
+    StatevectorBackend,
+    TranspileCache,
+)
 from .baselines import IdealTrainer, SingleDeviceTrainer
 from .circuit import (
     Parameter,
@@ -83,6 +90,12 @@ __all__ = [
     # simulators
     "simulate_statevector",
     "Counts",
+    # execution backends
+    "ExecutionBackend",
+    "StatevectorBackend",
+    "BatchedStatevectorBackend",
+    "NoisyBackend",
+    "TranspileCache",
     # devices / transpiler
     "TABLE_I",
     "DEFAULT_VQE_FLEET",

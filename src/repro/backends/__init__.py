@@ -1,0 +1,42 @@
+"""Pluggable execution backends for the submit→simulate→sample path.
+
+This package defines the :class:`ExecutionBackend` protocol and its three
+engines:
+
+* :class:`StatevectorBackend` — ideal, sequential; the bit-exact reference.
+* :class:`BatchedStatevectorBackend` — ideal, vectorized: a whole batch of
+  bindings of one circuit structure is simulated as a stacked
+  ``(batch, 2**n)`` NumPy pass (parameter-shift sweeps become one pass
+  instead of 2·P sequential simulations).
+* :class:`NoisyBackend` — the analytic channel/mixing device path, adapted
+  to the protocol; one per cloud device endpoint.
+
+It also owns the shared structure-keyed :class:`TranspileCache` that the
+clients of an ensemble populate cooperatively.
+"""
+
+from .base import ExecutionBackend, measured_register, normalize_batch
+from .batched import (
+    BatchedStatevectorBackend,
+    batched_probabilities,
+    simulate_statevector_batch,
+    structure_signature,
+)
+from .cache import CacheStats, TranspileCache, template_structure_key
+from .noisy import NoisyBackend
+from .statevector import StatevectorBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "StatevectorBackend",
+    "BatchedStatevectorBackend",
+    "NoisyBackend",
+    "TranspileCache",
+    "CacheStats",
+    "normalize_batch",
+    "measured_register",
+    "simulate_statevector_batch",
+    "batched_probabilities",
+    "structure_signature",
+    "template_structure_key",
+]

@@ -1,0 +1,94 @@
+"""The shared, structure-keyed transpile cache owned by the backend layer.
+
+Every EQC client used to keep a private ``dict`` of transpiled templates.
+That worked, but it re-transpiled the same ansatz for every client whose
+device shares a topology, and it gave the rest of the stack (baselines,
+benchmarks, experiments) no way to reuse the work.  :class:`TranspileCache`
+centralizes it: entries are keyed by the *structure* of the template circuit
+(gate sequence + symbolic parameter slots) and the target topology, so any
+two callers transpiling the same template for the same topology share one
+entry regardless of which naming scheme they use for their templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+from ..devices.topology import Topology
+from ..transpiler.transpile import TranspileResult, transpile
+
+__all__ = ["template_structure_key", "CacheStats", "TranspileCache"]
+
+
+def template_structure_key(circuit: QuantumCircuit):
+    """A hashable key capturing a template's full gate content.
+
+    Unlike the batch engine's signature (which deliberately ignores parameter
+    values so bindings can be stacked), the transpile key includes parameter
+    content — symbolic parameters by name, bound angles by value — because
+    transpilation output depends on nothing else about the circuit.
+    """
+    body = []
+    for inst in circuit.instructions:
+        params = tuple(
+            ("sym", p.name) if hasattr(p, "name") else ("val", float(p))
+            for p in inst.params
+        )
+        body.append((inst.name, inst.qubits, params))
+    return (circuit.num_qubits, tuple(body))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TranspileCache:
+    """Structure-keyed cache of :class:`TranspileResult` objects.
+
+    One instance is shared across every client of an ensemble (and may be
+    shared wider — the key includes the topology, so mixing devices is safe).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, TranspileResult] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_transpile(
+        self, template: QuantumCircuit, topology: Topology
+    ) -> TranspileResult:
+        """Return the cached transpilation of ``template`` for ``topology``.
+
+        On a miss the template is transpiled and the result stored; the
+        deterministic pipeline means all callers observe identical results.
+        """
+        key = (
+            template_structure_key(template),
+            topology.name,
+            topology.num_qubits,
+            topology.edges,
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        entry = transpile(template, topology)
+        self._entries[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()

@@ -1,0 +1,71 @@
+"""The sequential ideal backend: one looped statevector pass per circuit.
+
+This is the retained reference implementation of :class:`ExecutionBackend`
+semantics — it performs exactly the operations the library has always used
+(:func:`~repro.simulator.statevector.simulate_statevector` followed by
+multinomial sampling), circuit by circuit, so seeded results are bit-exact
+with the pre-backend code paths.  The batched engine is validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..simulator.result import ExecutionResult
+from ..simulator.sampler import sample_distribution
+from ..simulator.statevector import simulate_statevector
+from .base import ParameterBinding, measured_register, normalize_batch
+
+__all__ = ["StatevectorBackend"]
+
+
+class StatevectorBackend:
+    """Ideal (noise-free) backend executing each circuit sequentially."""
+
+    def __init__(self, name: str = "statevector") -> None:
+        self.name = name
+
+    def run(
+        self,
+        circuits: QuantumCircuit | Sequence[QuantumCircuit],
+        parameter_bindings: Sequence[ParameterBinding] | None = None,
+        shots: int = 8192,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        **_context,
+    ) -> list[ExecutionResult]:
+        """Simulate and sample every circuit in input order.
+
+        Device context (``footprint``, ``now``) is accepted and ignored so an
+        ideal backend can serve a cloud endpoint directly.
+
+        Args:
+            circuits: a template or a sequence of circuits.
+            parameter_bindings: optional bindings (see :mod:`repro.backends.base`).
+            shots: measurement shots per circuit.
+            seed: sampling seed (ignored when ``rng`` is given).
+            rng: externally-owned RNG; takes precedence over ``seed``.
+        """
+        bound = normalize_batch(circuits, parameter_bindings)
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        results: list[ExecutionResult] = []
+        for circuit in bound:
+            measured = measured_register(circuit)
+            state = simulate_statevector(circuit)
+            probs = state.probabilities(list(measured))
+            counts = sample_distribution(probs, shots, rng, num_bits=len(measured))
+            results.append(
+                ExecutionResult(counts=counts, shots=shots, backend_name=self.name)
+            )
+        return results
+
+    def probabilities(self, circuits: Sequence[QuantumCircuit]) -> list[np.ndarray]:
+        """Exact measured-register distributions, one looped pass per circuit."""
+        out = []
+        for circuit in circuits:
+            state = simulate_statevector(circuit)
+            out.append(state.probabilities(list(measured_register(circuit))))
+        return out

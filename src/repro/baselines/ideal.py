@@ -5,15 +5,27 @@ training the same ansatz on a noise-free simulator with 8192 shots.  This
 trainer reproduces it: energies are estimated either exactly or by sampling
 an ideal distribution (finite-shot noise only), there is no queue, and the
 wall-clock per epoch is negligible.
+
+Sampled execution is routed through an
+:class:`~repro.backends.base.ExecutionBackend`: the default
+:class:`~repro.backends.statevector.StatevectorBackend` keeps seeded results
+bit-exact with the historical sequential path, while passing
+``BatchedStatevectorBackend()`` turns every parameter step's forward/backward
+circuit family into one vectorized pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backends.base import ExecutionBackend
+from ..backends.statevector import StatevectorBackend
 from ..hamiltonian.expectation import EnergyEstimator
-from ..simulator.sampler import sample_circuit_ideal
-from ..vqa.gradient import gradient_from_energies, shifted_parameter_vectors
+from ..vqa.gradient import (
+    gradient_from_energies,
+    sampled_parameter_shift_gradient,
+    shifted_parameter_vectors,
+)
 from ..vqa.optimizer import AsgdRule
 from ..core.history import EpochRecord, TrainingHistory
 
@@ -31,6 +43,7 @@ class IdealTrainer:
         exact: bool = False,
         seed: int = 0,
         seconds_per_epoch: float = 30.0,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         """Args:
             estimator: the shared ansatz + Hamiltonian estimator.
@@ -40,6 +53,9 @@ class IdealTrainer:
             seed: sampling seed.
             seconds_per_epoch: nominal simulator wall time per epoch, used
                 only so the history has a meaningful epochs/hour.
+            backend: ideal execution backend for sampled mode; defaults to
+                the sequential :class:`StatevectorBackend` (bit-exact with
+                historical results for a fixed seed).
         """
         self.estimator = estimator
         self.shots = int(shots)
@@ -47,6 +63,7 @@ class IdealTrainer:
         self.exact = bool(exact)
         self.rng = np.random.default_rng(seed)
         self.seconds_per_epoch = float(seconds_per_epoch)
+        self.backend: ExecutionBackend = backend if backend is not None else StatevectorBackend()
         self.label = "ideal_simulator"
 
     # ------------------------------------------------------------------
@@ -54,8 +71,8 @@ class IdealTrainer:
         if self.exact:
             return self.estimator.exact_energy(values)
         circuits = self.estimator.measurement_circuits(values)
-        counts = [sample_circuit_ideal(c, self.shots, self.rng) for c in circuits]
-        return self.estimator.energy_from_counts(counts)
+        results = self.backend.run(circuits, shots=self.shots, rng=self.rng)
+        return self.estimator.energy_from_counts([r.counts for r in results])
 
     def train(
         self,
@@ -70,15 +87,30 @@ class IdealTrainer:
         history = TrainingHistory(
             label=self.label,
             device_names=("ideal",),
-            metadata={"learning_rate": self.rule.learning_rate, "shots": self.shots},
+            metadata={
+                "learning_rate": self.rule.learning_rate,
+                "shots": self.shots,
+                "backend": self.backend.name if not self.exact else "exact",
+            },
         )
         num_parameters = theta.size
         for epoch in range(1, num_epochs + 1):
             for index in range(num_parameters):
-                pair = shifted_parameter_vectors(theta, index)
-                gradient = gradient_from_energies(
-                    self._energy(pair.forward), self._energy(pair.backward)
-                )
+                if self.exact:
+                    pair = shifted_parameter_vectors(theta, index)
+                    gradient = gradient_from_energies(
+                        self._energy(pair.forward), self._energy(pair.backward)
+                    )
+                else:
+                    # Both shift evaluations run as one backend batch.
+                    gradient = sampled_parameter_shift_gradient(
+                        self.estimator,
+                        theta,
+                        self.backend,
+                        shots=self.shots,
+                        rng=self.rng,
+                        parameter_indices=[index],
+                    )[0]
                 theta[index] = self.rule.step(theta[index], gradient)
             if epoch % record_every == 0 or epoch == num_epochs:
                 history.add(

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cloud.clock import SECONDS_PER_HOUR
-from ..cloud.provider import CloudProvider
+from ..cloud.provider import BackendFactory, CloudProvider
 from ..cloud.queueing import QueueModel
 from ..devices.catalog import build_qpu
 from ..devices.qpu import QPU
@@ -46,12 +46,19 @@ class SingleDeviceTrainer:
         max_wall_hours: float = DEFAULT_TERMINATION_HOURS,
         queue_model: QueueModel | None = None,
         qpu: QPU | None = None,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         self.objective = objective
         self.qpu = qpu if qpu is not None else build_qpu(device_name)
         queue_models = {self.qpu.name: queue_model} if queue_model is not None else None
+        # Execution flows through the device endpoint's ExecutionBackend
+        # (NoisyBackend unless overridden), like every other trainer.
         self.provider = CloudProvider(
-            [self.qpu], queue_models=queue_models, seed=seed, shots=shots
+            [self.qpu],
+            queue_models=queue_models,
+            seed=seed,
+            shots=shots,
+            backend_factory=backend_factory,
         )
         self.client = EQCClientNode(
             objective=objective, qpu=self.qpu, provider=self.provider, shots=shots

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -217,8 +218,39 @@ def _rzz(theta: float) -> np.ndarray:
     return np.diag([phase, conj, conj, phase]).astype(complex)
 
 
+@lru_cache(maxsize=4096)
+def _cached_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """Build (once) the read-only unitary for a (name, params) pair.
+
+    Simulation re-applies the same few unitaries thousands of times per
+    training run; memoizing the built matrices removes that rebuild cost.
+    The cached arrays are marked read-only so sharing them is safe.
+    """
+    if name in _FIXED_1Q:
+        matrix = _FIXED_1Q[name].copy()
+    elif name in _FIXED_2Q:
+        matrix = _FIXED_2Q[name].copy()
+    else:
+        theta = params[0]
+        if name == "rx":
+            matrix = _rx(theta)
+        elif name == "ry":
+            matrix = _ry(theta)
+        elif name == "rz":
+            matrix = _rz(theta)
+        elif name == "rzz":
+            matrix = _rzz(theta)
+        else:
+            raise ValueError(f"no matrix rule for gate {name!r}")
+    matrix.setflags(write=False)
+    return matrix
+
+
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     """Return the unitary matrix for a gate with bound (float) parameters.
+
+    The returned array is a shared, memoized, **read-only** matrix; copy it
+    before mutating.
 
     Args:
         name: gate name from :data:`GATE_SPECS`.
@@ -236,17 +268,4 @@ def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
         raise ValueError(
             f"gate {name!r} expects {spec.num_params} parameters, got {len(params)}"
         )
-    if name in _FIXED_1Q:
-        return _FIXED_1Q[name].copy()
-    if name in _FIXED_2Q:
-        return _FIXED_2Q[name].copy()
-    theta = float(params[0])
-    if name == "rx":
-        return _rx(theta)
-    if name == "ry":
-        return _ry(theta)
-    if name == "rz":
-        return _rz(theta)
-    if name == "rzz":
-        return _rzz(theta)
-    raise ValueError(f"no matrix rule for gate {name!r}")
+    return _cached_gate_matrix(name, tuple(float(p) for p in params))

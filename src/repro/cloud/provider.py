@@ -14,17 +14,22 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..backends.base import ExecutionBackend
+from ..backends.noisy import NoisyBackend
 from ..circuit.circuit import QuantumCircuit
-from ..devices.qpu import QPU, CircuitFootprint
+from ..devices.qpu import QPU, CircuitFootprint, job_slot_circuit_seconds
 from ..simulator.result import ExecutionResult
 from .job import CloudJob, JobStatus
 from .queueing import QueueModel, queue_model_for
 
 __all__ = ["DeviceEndpoint", "CloudProvider", "UtilizationRecord"]
+
+#: Builds the execution backend serving one device endpoint.
+BackendFactory = Callable[[QPU], ExecutionBackend]
 
 
 @dataclass
@@ -45,11 +50,23 @@ class UtilizationRecord:
 
 
 class DeviceEndpoint:
-    """One device's serial queue inside the provider."""
+    """One device's serial queue inside the provider.
 
-    def __init__(self, qpu: QPU, queue_model: QueueModel, seed: int) -> None:
+    The endpoint pairs the queue/utilization bookkeeping with the
+    :class:`ExecutionBackend` that actually runs batches on the device —
+    swapping the backend swaps the physics without touching the scheduling.
+    """
+
+    def __init__(
+        self,
+        qpu: QPU,
+        queue_model: QueueModel,
+        seed: int,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         self.qpu = qpu
         self.queue_model = queue_model
+        self.backend: ExecutionBackend = backend if backend is not None else NoisyBackend(qpu)
         self.rng = np.random.default_rng((seed, qpu.spec.seed, 0xB0B))
         #: Simulation time at which the device becomes free.
         self.free_at = 0.0
@@ -65,6 +82,7 @@ class CloudProvider:
         queue_models: Mapping[str, QueueModel] | None = None,
         seed: int = 0,
         shots: int = 8192,
+        backend_factory: BackendFactory | None = None,
     ) -> None:
         qpus = list(qpus)
         if not qpus:
@@ -79,7 +97,8 @@ class CloudProvider:
                 if queue_models is not None and qpu.name in queue_models
                 else queue_model_for(qpu.name)
             )
-            self._endpoints[qpu.name] = DeviceEndpoint(qpu, model, seed)
+            backend = backend_factory(qpu) if backend_factory is not None else None
+            self._endpoints[qpu.name] = DeviceEndpoint(qpu, model, seed, backend=backend)
         self.default_shots = int(shots)
         self._job_ids = itertools.count()
 
@@ -91,6 +110,10 @@ class CloudProvider:
     def qpu(self, device_name: str) -> QPU:
         """The device object behind one endpoint."""
         return self._endpoint(device_name).qpu
+
+    def backend(self, device_name: str) -> ExecutionBackend:
+        """The execution backend serving one endpoint."""
+        return self._endpoint(device_name).backend
 
     def _endpoint(self, device_name: str) -> DeviceEndpoint:
         if device_name not in self._endpoints:
@@ -131,18 +154,28 @@ class CloudProvider:
         job.start_time = start_time
         job.status = JobStatus.RUNNING
 
+        # The whole multi-circuit job is one backend batch; the backend owns
+        # the in-batch device clock and the physics, the provider owns
+        # queueing and per-batch utilization accounting.
+        results = endpoint.backend.run(
+            list(circuits),
+            shots=shots,
+            footprint=footprint,
+            now=start_time,
+            rng=endpoint.rng,
+        )
         elapsed = 0.0
-        for circuit in circuits:
-            result = endpoint.qpu.execute(
-                circuit, footprint, shots, now=start_time + elapsed, rng=endpoint.rng
-            )
-            # One device "job slot" covers a forward/backward circuit pair;
-            # splitting its duration evenly across the batch keeps the total
-            # consistent regardless of batch size.
-            per_circuit = result.duration_seconds / 2.0
+        for result in results:
             result.queue_seconds = job.queue_seconds
+            if result.duration_seconds == 0.0:
+                # Ideal backends carry no device clock; charge the device's
+                # own job timing so swapping the physics never collapses the
+                # schedule (busy time, free_at, epochs/hour stay meaningful).
+                result.duration_seconds = endpoint.qpu.job_duration_seconds(
+                    start_time + elapsed
+                )
             job.results.append(result)
-            elapsed += per_circuit
+            elapsed += job_slot_circuit_seconds(result.duration_seconds)
 
         job.finish_time = start_time + elapsed
         job.status = JobStatus.DONE

@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
+from ..backends.cache import TranspileCache
 from ..cloud.provider import CloudProvider
 from ..devices.qpu import QPU, CircuitFootprint
-from ..transpiler.transpile import TranspileResult, transpile
+from ..transpiler.transpile import TranspileResult
 from ..vqa.tasks import GradientTask
 from .objective import GradientJobSpec, VQAObjective
 from .weighting import estimate_p_correct
@@ -65,12 +66,19 @@ class EQCClientNode:
         provider: CloudProvider,
         shots: int = 8192,
         name: str | None = None,
+        transpile_cache: TranspileCache | None = None,
     ) -> None:
         self.objective = objective
         self.qpu = qpu
         self.provider = provider
         self.shots = int(shots)
         self.name = name or f"client_{qpu.name}"
+        #: Shared structure-keyed cache (backend layer); clients of one
+        #: ensemble hand the same instance around so a template transpiled
+        #: for a topology is transpiled exactly once fleet-wide.
+        self.transpile_cache = transpile_cache if transpile_cache is not None else TranspileCache()
+        #: Per-client view keyed by the objective's template keys (kept so
+        #: ``representative_footprint`` can summarize what *this* client ran).
         self._transpile_cache: dict[Hashable, TranspileResult] = {}
         self.jobs_completed = 0
 
@@ -80,9 +88,11 @@ class EQCClientNode:
         return self.qpu.name
 
     def _transpiled(self, key: Hashable, template) -> TranspileResult:
-        """Transpile a template once per device and cache the result."""
+        """Transpile a template once per device via the shared cache."""
         if key not in self._transpile_cache:
-            self._transpile_cache[key] = transpile(template, self.qpu.topology)
+            self._transpile_cache[key] = self.transpile_cache.get_or_transpile(
+                template, self.qpu.topology
+            )
         return self._transpile_cache[key]
 
     def representative_footprint(self, job: GradientJobSpec | None = None) -> CircuitFootprint:

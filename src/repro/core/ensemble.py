@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..backends.cache import TranspileCache
 from ..cloud.provider import CloudProvider
 from ..cloud.queueing import QueueModel
 from ..devices.catalog import DEFAULT_VQE_FLEET, build_fleet
@@ -84,12 +85,16 @@ class EQCEnsemble:
             seed=self.config.seed,
             shots=self.config.shots,
         )
+        #: One structure-keyed transpile cache shared by every client: devices
+        #: with a common topology reuse each other's transpilations.
+        self.transpile_cache = TranspileCache()
         self.clients = [
             EQCClientNode(
                 objective=objective,
                 qpu=qpu,
                 provider=self.provider,
                 shots=self.config.shots,
+                transpile_cache=self.transpile_cache,
             )
             for qpu in self.fleet
         ]

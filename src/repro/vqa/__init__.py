@@ -6,6 +6,8 @@ from .gradient import (
     exact_full_gradient,
     exact_parameter_shift_gradient,
     gradient_from_energies,
+    parameter_shift_batch,
+    sampled_parameter_shift_gradient,
     shifted_parameter_vectors,
 )
 from .optimizer import AsgdRule, ParameterVectorState, clip_gradient, initial_parameters
@@ -21,6 +23,8 @@ __all__ = [
     "gradient_from_energies",
     "exact_parameter_shift_gradient",
     "exact_full_gradient",
+    "parameter_shift_batch",
+    "sampled_parameter_shift_gradient",
     "AsgdRule",
     "ParameterVectorState",
     "clip_gradient",

@@ -1,0 +1,69 @@
+"""Seeded-history regression tests pinning the refactored execution stack.
+
+The golden values below were captured from the pre-backend (seed) code; the
+pluggable-backend refactor must leave every seeded history bit-exact, because
+the retained sequential paths (StatevectorBackend, NoisyBackend) perform the
+same floating-point operations in the same order as the code they replaced.
+"""
+
+import numpy as np
+
+from repro.backends import BatchedStatevectorBackend
+from repro.baselines.ideal import IdealTrainer
+from repro.core.ensemble import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective
+from repro.vqa import heisenberg_vqe_problem
+
+#: EQCEnsemble.train on ("x2", "Belem", "Bogota"), shots=512, seed=7,
+#: theta = linspace(0.1, 1.6, 16), 3 epochs — captured from the seed code.
+GOLDEN_EQC_LOSSES_HEX = [
+    "0x1.10fcf2a498d71p+2",
+    "0x1.b736331e78ed3p+1",
+    "0x1.681b543bbe420p+1",
+]
+GOLDEN_EQC_HOURS_HEX = [
+    "0x1.63f4b7cd1b847p-3",
+    "0x1.583a87d2c68f9p-2",
+    "0x1.069b989bbb035p-1",
+]
+
+
+def _golden_run():
+    problem = heisenberg_vqe_problem()
+    config = EQCConfig(device_names=("x2", "Belem", "Bogota"), shots=512, seed=7)
+    theta = np.linspace(0.1, 1.6, 16)
+    return EQCEnsemble(EnergyObjective(problem.estimator), config).train(
+        theta, num_epochs=3
+    )
+
+
+class TestEnsembleHistoryRegression:
+    def test_train_history_unchanged_for_fixed_seed(self):
+        history = _golden_run()
+        assert [float(l).hex() for l in history.losses] == GOLDEN_EQC_LOSSES_HEX
+        assert [
+            float(r.sim_time_hours).hex() for r in history.records
+        ] == GOLDEN_EQC_HOURS_HEX
+
+
+class TestIdealTrainerBackendRouting:
+    def test_default_backend_is_sequential_reference(self, vqe_problem):
+        trainer = IdealTrainer(vqe_problem.estimator, shots=128, seed=0)
+        assert trainer.backend.name == "statevector"
+
+    def test_batched_backend_converges_like_sequential(self, vqe_problem):
+        """The batched engine is a drop-in: same problem, same trajectory
+        statistics (exact per-step equality is not required — only the
+        probabilities are pinned to 1e-10, not the multinomial draws)."""
+        theta = vqe_problem.random_initial_parameters()
+        sequential = IdealTrainer(vqe_problem.estimator, shots=2048, seed=5).train(
+            theta, num_epochs=3
+        )
+        batched = IdealTrainer(
+            vqe_problem.estimator,
+            shots=2048,
+            seed=5,
+            backend=BatchedStatevectorBackend(),
+        ).train(theta, num_epochs=3)
+        assert batched.metadata["backend"] == "batched_statevector"
+        assert abs(batched.losses[-1] - sequential.losses[-1]) < 0.5
