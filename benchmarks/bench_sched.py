@@ -1,0 +1,145 @@
+"""Scheduler benchmark — kernel throughput and EQC-under-contention sweep.
+
+Two numbers gate the ``sched`` subsystem:
+
+* **kernel throughput** — events/second through the discrete-event heap
+  (schedule + pop + dispatch).  The scheduler must stay a negligible cost
+  next to the statevector physics; the floor is 50k events/sec.
+* **contention sweep** — EQC epochs/hour under 0/100/1000 background
+  tenants on the shared fleet, which must degrade monotonically (more
+  traffic, slower training — the property the subsystem exists to model).
+
+Results land in ``BENCH_sched.json`` at the repository root so the
+scheduler's performance trajectory is tracked across PRs.  ``--smoke`` runs
+a reduced-but-complete version for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import EQCConfig, EQCEnsemble, EnergyObjective
+from repro.sched import EventKernel
+from repro.vqa import heisenberg_vqe_problem
+
+KERNEL_EVENTS = 200_000
+KERNEL_EVENTS_SMOKE = 60_000
+KERNEL_REPEATS = 3
+MIN_EVENTS_PER_SEC = 50_000.0
+TENANT_LEVELS = (0, 100, 1000)
+DEVICES = ("x2", "Belem", "Bogota")
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sched.json"
+
+
+def time_kernel(num_events: int, repeats: int = KERNEL_REPEATS) -> dict:
+    """Best-of-N wall time to schedule and drain ``num_events`` events."""
+    best = float("inf")
+    for _ in range(repeats):
+        kernel = EventKernel(seed=1)
+        times = kernel.rng_stream("bench").uniform(0.0, 1e6, size=num_events)
+        start = time.perf_counter()
+        for t in times:
+            kernel.schedule(float(t), _noop)
+        while kernel.step() is not None:
+            pass
+        best = min(best, time.perf_counter() - start)
+        assert kernel.events_processed == num_events
+    return {
+        "events": num_events,
+        "seconds": best,
+        "events_per_sec": num_events / best,
+    }
+
+
+def _noop(now: float) -> None:
+    return None
+
+
+def run_contention_sweep(num_epochs: int, shots: int) -> list[dict]:
+    """EQC epochs/hour at each background tenant level (FIFO policy)."""
+    problem = heisenberg_vqe_problem()
+    theta = np.linspace(0.1, 1.6, problem.num_parameters)
+    sweep = []
+    for tenants in TENANT_LEVELS:
+        config = EQCConfig(
+            device_names=DEVICES,
+            shots=shots,
+            seed=7,
+            scheduling_policy="fifo",
+            background_tenants=tenants,
+        )
+        ensemble = EQCEnsemble(EnergyObjective(problem.estimator), config)
+        start = time.perf_counter()
+        history = ensemble.train(theta, num_epochs=num_epochs)
+        metrics = history.metadata["scheduler"]
+        sweep.append(
+            {
+                "background_tenants": tenants,
+                "epochs_per_hour": history.epochs_per_hour(),
+                "simulated_hours": history.total_hours(),
+                "events_processed": metrics["events_processed"],
+                "tenant_jobs_rejected": sum(
+                    d["jobs_rejected"] for d in metrics["devices"].values()
+                ),
+                "wall_seconds": time.perf_counter() - start,
+            }
+        )
+    return sweep
+
+
+def run_sched_benchmark(smoke: bool = False) -> dict:
+    kernel_events = KERNEL_EVENTS_SMOKE if smoke else KERNEL_EVENTS
+    num_epochs = 1 if smoke else 2
+    shots = 128
+    return {
+        "benchmark": "sched",
+        "config": {
+            "smoke": smoke,
+            "devices": list(DEVICES),
+            "num_epochs": num_epochs,
+            "shots": shots,
+            "policy": "fifo",
+        },
+        "kernel": time_kernel(kernel_events),
+        "contention": run_contention_sweep(num_epochs=num_epochs, shots=shots),
+    }
+
+
+def check_and_record(result: dict) -> None:
+    """Persist the result and enforce the acceptance criteria."""
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    throughput = result["kernel"]["events_per_sec"]
+    assert throughput >= MIN_EVENTS_PER_SEC, (
+        f"kernel throughput regressed below {MIN_EVENTS_PER_SEC:.0f}/s: "
+        f"{throughput:.0f}/s"
+    )
+    rates = [cell["epochs_per_hour"] for cell in result["contention"]]
+    assert all(a > b for a, b in zip(rates, rates[1:])), (
+        f"EQC epochs/hour must degrade monotonically with tenant load: {rates}"
+    )
+
+
+def test_sched_benchmark():
+    result = run_sched_benchmark(smoke=True)
+    kernel = result["kernel"]
+    print("\n=== Scheduler: kernel throughput and contention sweep (smoke) ===")
+    print(f"kernel: {kernel['events_per_sec']:,.0f} events/sec ({kernel['events']} events)")
+    for cell in result["contention"]:
+        print(
+            f"{cell['background_tenants']:>5} tenants | "
+            f"{cell['epochs_per_hour']:.3f} epochs/hour | "
+            f"{cell['events_processed']} events | "
+            f"{cell['tenant_jobs_rejected']} rejected"
+        )
+    check_and_record(result)
+
+
+if __name__ == "__main__":
+    result = run_sched_benchmark(smoke="--smoke" in sys.argv[1:])
+    print(json.dumps(result, indent=2))
+    check_and_record(result)

@@ -65,6 +65,18 @@ from .hamiltonian import (
     heisenberg_square_lattice,
     ring_maxcut_hamiltonian,
 )
+from .sched import (
+    CalibrationAwarePolicy,
+    CloudScheduler,
+    EventKernel,
+    FairSharePolicy,
+    FifoPolicy,
+    LeastLoadedPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    StatisticalQueuePolicy,
+    WorkloadGenerator,
+)
 from .simulator import Counts, simulate_statevector
 from .transpiler import transpile
 from .vqa import (
@@ -135,4 +147,15 @@ __all__ = [
     # baselines
     "IdealTrainer",
     "SingleDeviceTrainer",
+    # discrete-event scheduler
+    "EventKernel",
+    "CloudScheduler",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "FairSharePolicy",
+    "LeastLoadedPolicy",
+    "CalibrationAwarePolicy",
+    "StatisticalQueuePolicy",
+    "WorkloadGenerator",
 ]

@@ -13,6 +13,7 @@ when the virtual wall clock exceeds ``max_wall_hours``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from ..cloud.provider import BackendFactory, CloudProvider
 from ..cloud.queueing import QueueModel
 from ..devices.catalog import build_qpu
 from ..devices.qpu import QPU
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sched.scheduler import CloudScheduler
 from ..vqa.optimizer import AsgdRule
 from ..vqa.tasks import CyclicTaskQueue, vqe_task_cycle
 from ..core.client import EQCClientNode
@@ -47,18 +51,21 @@ class SingleDeviceTrainer:
         queue_model: QueueModel | None = None,
         qpu: QPU | None = None,
         backend_factory: BackendFactory | None = None,
+        scheduler: "CloudScheduler | None" = None,
     ) -> None:
         self.objective = objective
         self.qpu = qpu if qpu is not None else build_qpu(device_name)
         queue_models = {self.qpu.name: queue_model} if queue_model is not None else None
         # Execution flows through the device endpoint's ExecutionBackend
-        # (NoisyBackend unless overridden), like every other trainer.
+        # (NoisyBackend unless overridden), like every other trainer; an
+        # optional scheduler makes the device a contended shared resource.
         self.provider = CloudProvider(
             [self.qpu],
             queue_models=queue_models,
             seed=seed,
             shots=shots,
             backend_factory=backend_factory,
+            scheduler=scheduler,
         )
         self.client = EQCClientNode(
             objective=objective, qpu=self.qpu, provider=self.provider, shots=shots

@@ -3,7 +3,12 @@
 from .clock import SECONDS_PER_HOUR, VirtualClock, hours, seconds_to_hours
 from .job import CloudJob, JobStatus
 from .provider import CloudProvider, DeviceEndpoint, UtilizationRecord
-from .queueing import DEFAULT_QUEUE_MODELS, QueueModel, queue_model_for
+from .queueing import (
+    DEFAULT_QUEUE_MODELS,
+    QueueModel,
+    StatisticalQueuePolicy,
+    queue_model_for,
+)
 
 __all__ = [
     "VirtualClock",
@@ -15,6 +20,7 @@ __all__ = [
     "QueueModel",
     "DEFAULT_QUEUE_MODELS",
     "queue_model_for",
+    "StatisticalQueuePolicy",
     "CloudProvider",
     "DeviceEndpoint",
     "UtilizationRecord",

@@ -50,7 +50,17 @@ class VirtualClock:
         return self._now
 
     def advance_to(self, timestamp: float) -> float:
-        """Move the clock forward to an absolute timestamp (no-op if past)."""
+        """Move the clock forward to an absolute timestamp (sleep-until).
+
+        A ``timestamp`` at or before the current time is an explicit,
+        guaranteed **no-op** — the clock never runs backwards and never
+        raises here.  Scheduler correctness depends on this contract: the
+        event kernel calls ``advance_to`` for every processed event, and the
+        EQC master replays job completions out of global time order, so
+        events legitimately carry timestamps the clock has already passed
+        (see ``repro.sched.kernel``).  Pinned by
+        ``tests/test_cloud/test_clock.py::TestVirtualClock::test_advance_to_past_is_documented_noop``.
+        """
         if timestamp > self._now:
             self._now = float(timestamp)
         return self._now

@@ -1,20 +1,31 @@
 """The simulated cloud provider: job submission, queues, utilization.
 
 The :class:`CloudProvider` is the piece of the substrate that stands in for
-the IBMQ service.  Each backend device keeps a serial work queue: a job
-submitted at time *t* waits for (a) whatever the device is still executing
-and (b) a stochastic congestion delay from the device's
-:class:`~repro.cloud.queueing.QueueModel`, then executes each circuit through
-the device's noisy execution path.  The provider records per-device busy time
-so the utilization imbalance the paper motivates EQC with can be quantified
-(see :meth:`CloudProvider.utilization_report`).
+the IBMQ service.  Each backend device keeps a serial work queue, and the
+provider supports two queueing regimes:
+
+* **statistical** (default) — a job submitted at time *t* waits for
+  (a) whatever the device is still executing and (b) a stochastic congestion
+  delay from the device's :class:`~repro.cloud.queueing.QueueModel`
+  (the :class:`~repro.cloud.queueing.StatisticalQueuePolicy` fallback; other
+  users are a distribution, and seeded histories are bit-exact with the
+  pre-scheduler code);
+* **scheduled** — when constructed with a
+  :class:`~repro.sched.scheduler.CloudScheduler`, jobs are submitted into
+  the shared discrete-event kernel where they compete with background tenant
+  traffic for capacity-1 devices under a pluggable scheduling policy, and
+  queue delays *emerge* from contention and calibration downtime.
+
+Either way the provider records per-device busy time so the utilization
+imbalance the paper motivates EQC with can be quantified (see
+:meth:`CloudProvider.utilization_report`).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -24,7 +35,10 @@ from ..circuit.circuit import QuantumCircuit
 from ..devices.qpu import QPU, CircuitFootprint, job_slot_circuit_seconds
 from ..simulator.result import ExecutionResult
 from .job import CloudJob, JobStatus
-from .queueing import QueueModel, queue_model_for
+from .queueing import QueueModel, StatisticalQueuePolicy, queue_model_for
+
+if TYPE_CHECKING:  # pragma: no cover - cloud never imports sched at runtime
+    from ..sched.scheduler import CloudScheduler
 
 __all__ = ["DeviceEndpoint", "CloudProvider", "UtilizationRecord"]
 
@@ -83,6 +97,8 @@ class CloudProvider:
         seed: int = 0,
         shots: int = 8192,
         backend_factory: BackendFactory | None = None,
+        scheduler: "CloudScheduler | None" = None,
+        queue_policy: StatisticalQueuePolicy | None = None,
     ) -> None:
         qpus = list(qpus)
         if not qpus:
@@ -101,6 +117,13 @@ class CloudProvider:
             self._endpoints[qpu.name] = DeviceEndpoint(qpu, model, seed, backend=backend)
         self.default_shots = int(shots)
         self._job_ids = itertools.count()
+        self.scheduler = scheduler
+        self._queue_policy = (
+            queue_policy if queue_policy is not None else StatisticalQueuePolicy()
+        )
+        if scheduler is not None:
+            for endpoint in self._endpoints.values():
+                scheduler.register_device(endpoint.qpu, endpoint.queue_model)
 
     # ------------------------------------------------------------------
     @property
@@ -128,6 +151,7 @@ class CloudProvider:
         footprint: CircuitFootprint,
         now: float,
         shots: int | None = None,
+        priority: int = 0,
     ) -> CloudJob:
         """Submit a batch of bound circuits and simulate it to completion.
 
@@ -135,6 +159,11 @@ class CloudProvider:
         and timing populated; callers (EQC client nodes, baselines) treat
         ``job.finish_time`` as the moment the results become visible, which is
         how asynchrony is realized on the virtual clock.
+
+        With a scheduler attached the job is routed through the shared event
+        kernel (where it competes with tenant traffic and ``priority`` can
+        matter to the policy); otherwise the statistical fallback prices the
+        queue wait in closed form.
         """
         if not circuits:
             raise ValueError("a job needs at least one circuit")
@@ -149,33 +178,18 @@ class CloudProvider:
             submit_time=float(now),
         )
 
-        queue_wait = endpoint.queue_model.sample_wait(now, endpoint.rng)
-        start_time = max(float(now) + queue_wait, endpoint.free_at)
+        if self.scheduler is not None:
+            return self._submit_scheduled(
+                endpoint, job, circuits, footprint, now, shots, priority
+            )
+
+        start_time = self._queue_policy.start_time(endpoint, now)
         job.start_time = start_time
         job.status = JobStatus.RUNNING
 
-        # The whole multi-circuit job is one backend batch; the backend owns
-        # the in-batch device clock and the physics, the provider owns
-        # queueing and per-batch utilization accounting.
-        results = endpoint.backend.run(
-            list(circuits),
-            shots=shots,
-            footprint=footprint,
-            now=start_time,
-            rng=endpoint.rng,
-        )
-        elapsed = 0.0
-        for result in results:
+        elapsed = self._execute_batch(endpoint, job, circuits, footprint, start_time, shots)
+        for result in job.results:
             result.queue_seconds = job.queue_seconds
-            if result.duration_seconds == 0.0:
-                # Ideal backends carry no device clock; charge the device's
-                # own job timing so swapping the physics never collapses the
-                # schedule (busy time, free_at, epochs/hour stay meaningful).
-                result.duration_seconds = endpoint.qpu.job_duration_seconds(
-                    start_time + elapsed
-                )
-            job.results.append(result)
-            elapsed += job_slot_circuit_seconds(result.duration_seconds)
 
         job.finish_time = start_time + elapsed
         job.status = JobStatus.DONE
@@ -185,6 +199,93 @@ class CloudProvider:
         endpoint.record.busy_seconds += elapsed
         endpoint.record.queued_seconds += job.queue_seconds
         endpoint.record.last_finish_time = job.finish_time
+        return job
+
+    def _execute_batch(
+        self,
+        endpoint: DeviceEndpoint,
+        job: CloudJob,
+        circuits: Sequence[QuantumCircuit],
+        footprint: CircuitFootprint,
+        start_time: float,
+        shots: int,
+    ) -> float:
+        """Run one multi-circuit job on an endpoint; returns elapsed seconds.
+
+        The whole job is one backend batch; the backend owns the in-batch
+        device clock and the physics, the provider owns queueing and
+        per-batch utilization accounting.  Both queueing regimes (the
+        statistical fallback and the scheduler's service-start event) share
+        this path, so the physics can never diverge between them.
+        """
+        results = endpoint.backend.run(
+            list(circuits),
+            shots=shots,
+            footprint=footprint,
+            now=start_time,
+            rng=endpoint.rng,
+        )
+        elapsed = 0.0
+        for result in results:
+            if result.duration_seconds == 0.0:
+                # Ideal backends carry no device clock; charge the device's
+                # own job timing so swapping the physics never collapses the
+                # schedule (busy time, free_at, epochs/hour stay meaningful).
+                result.duration_seconds = endpoint.qpu.job_duration_seconds(
+                    start_time + elapsed
+                )
+            job.results.append(result)
+            elapsed += job_slot_circuit_seconds(result.duration_seconds)
+        return elapsed
+
+    def _submit_scheduled(
+        self,
+        endpoint: DeviceEndpoint,
+        job: CloudJob,
+        circuits: Sequence[QuantumCircuit],
+        footprint: CircuitFootprint,
+        now: float,
+        shots: int,
+        priority: int,
+    ) -> CloudJob:
+        """Kernel path: the job queues behind live tenant traffic.
+
+        The backend's physics run inside the service-start event — at the
+        start time the scheduler *decides*, after contention and calibration
+        downtime — so noise, drift and the device RNG stream see the true
+        execution time, exactly as on the statistical path.
+        """
+
+        def service(start_time: float) -> float:
+            return self._execute_batch(
+                endpoint, job, circuits, footprint, start_time, shots
+            )
+
+        job.status = JobStatus.RUNNING
+        handle = self.scheduler.submit(
+            device_name=endpoint.qpu.name,
+            arrival=float(now),
+            tenant="eqc",
+            num_circuits=len(circuits),
+            priority=priority,
+            service=service,
+        )
+        self.scheduler.run_until_complete(handle)
+
+        job.start_time = float(handle.start_time)
+        job.finish_time = float(handle.finish_time)
+        job.status = JobStatus.DONE
+        for result in job.results:
+            result.queue_seconds = job.queue_seconds
+
+        queue = self.scheduler.queues[endpoint.qpu.name]
+        endpoint.free_at = max(endpoint.free_at, queue.free_at)
+        endpoint.record.jobs_completed += 1
+        endpoint.record.busy_seconds += handle.service_seconds
+        endpoint.record.queued_seconds += job.queue_seconds
+        endpoint.record.last_finish_time = max(
+            endpoint.record.last_finish_time, job.finish_time
+        )
         return job
 
     # ------------------------------------------------------------------

@@ -19,6 +19,9 @@ from ..cloud.provider import CloudProvider
 from ..cloud.queueing import QueueModel
 from ..devices.catalog import DEFAULT_VQE_FLEET, build_fleet
 from ..devices.qpu import QPU
+from ..sched.policies import SchedulingPolicy
+from ..sched.scheduler import CloudScheduler
+from ..sched.workload import WorkloadGenerator
 from ..hamiltonian.expectation import EnergyEstimator
 from ..vqa.optimizer import AsgdRule
 from ..vqa.tasks import CyclicTaskQueue, vqe_task_cycle
@@ -46,6 +49,15 @@ class EQCConfig:
         seed: seed for the provider's queue randomness.
         label: history label (defaults to an auto-generated description).
         queue_models: optional per-device queue overrides.
+        scheduling_policy: a :class:`~repro.sched.policies.SchedulingPolicy`
+            (or registry name like ``"fifo"``/``"fair_share"``); any non-None
+            value routes jobs through the discrete-event scheduler instead of
+            the statistical queue fallback.
+        background_tenants: size of the simulated tenant community competing
+            for the fleet (>0 implies the scheduler, FIFO unless a policy is
+            set).
+        tenant_jobs_per_hour: per-tenant submission rate for the background
+            workload.
     """
 
     device_names: tuple[str, ...] = DEFAULT_VQE_FLEET
@@ -56,6 +68,9 @@ class EQCConfig:
     seed: int = 0
     label: str = ""
     queue_models: dict[str, QueueModel] | None = None
+    scheduling_policy: SchedulingPolicy | str | None = None
+    background_tenants: int = 0
+    tenant_jobs_per_hour: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.device_names:
@@ -64,6 +79,13 @@ class EQCConfig:
             raise ValueError("shots must be >= 1")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.background_tenants < 0:
+            raise ValueError("background_tenants must be non-negative")
+
+    @property
+    def uses_scheduler(self) -> bool:
+        """True when jobs go through the event kernel (not the fallback)."""
+        return self.scheduling_policy is not None or self.background_tenants > 0
 
     def describe(self) -> str:
         if self.label:
@@ -79,11 +101,25 @@ class EQCEnsemble:
         self.config = config or EQCConfig()
         self.objective = objective
         self.fleet: list[QPU] = build_fleet(self.config.device_names)
+        self.scheduler: CloudScheduler | None = None
+        if self.config.uses_scheduler:
+            workload = None
+            if self.config.background_tenants > 0:
+                workload = WorkloadGenerator(
+                    num_tenants=self.config.background_tenants,
+                    jobs_per_tenant_hour=self.config.tenant_jobs_per_hour,
+                )
+            self.scheduler = CloudScheduler(
+                policy=self.config.scheduling_policy,
+                workload=workload,
+                seed=self.config.seed,
+            )
         self.provider = CloudProvider(
             self.fleet,
             queue_models=self.config.queue_models,
             seed=self.config.seed,
             shots=self.config.shots,
+            scheduler=self.scheduler,
         )
         #: One structure-keyed transpile cache shared by every client: devices
         #: with a common topology reuse each other's transpilations.
@@ -135,4 +171,6 @@ class EQCEnsemble:
         )
         history = master.train(num_epochs=num_epochs, record_every=record_every)
         history.metadata["utilization"] = self.provider.utilization_report()
+        if self.scheduler is not None:
+            history.metadata["scheduler"] = self.scheduler.metrics()
         return history

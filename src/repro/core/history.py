@@ -53,6 +53,11 @@ class TrainingHistory:
     total_jobs: int = 0
     terminated_early: bool = False
     termination_reason: str = ""
+    #: Completed fraction of the last recorded epoch.  1.0 for ordinary
+    #: histories; a truncated update budget (``target_updates`` not a
+    #: multiple of the cycle) records its tail as a partial final epoch and
+    #: sets this so throughput metrics do not count it as a full epoch.
+    final_epoch_fraction: float = 1.0
     metadata: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -106,14 +111,17 @@ class TrainingHistory:
         """Average training throughput (the paper's Fig. 6 right panel).
 
         Uses the last recorded epoch number (not the record count) so
-        sub-sampled histories (``record_every > 1``) report the true rate.
+        sub-sampled histories (``record_every > 1``) report the true rate,
+        and discounts a partial final epoch by ``final_epoch_fraction`` so
+        a truncated update budget cannot inflate the rate.
         """
         hours = self.total_hours()
         if hours <= 0:
             return float("inf")
         if not self.records:
             return 0.0
-        return self.records[-1].epoch / hours
+        effective_epochs = self.records[-1].epoch - 1.0 + self.final_epoch_fraction
+        return effective_epochs / hours
 
     def error_vs(self, reference: float, tail: int = 10) -> float:
         """Relative error of the converged loss against a reference value.

@@ -104,12 +104,24 @@ class EQCMasterNode:
     # ------------------------------------------------------------------
     def train(
         self,
-        num_epochs: int,
+        num_epochs: int | None = None,
         record_every: int = 1,
+        target_updates: int | None = None,
     ) -> TrainingHistory:
-        """Run the asynchronous optimization for ``num_epochs`` epochs."""
-        if num_epochs < 1:
-            raise ValueError("num_epochs must be >= 1")
+        """Run the asynchronous optimization for ``num_epochs`` epochs.
+
+        ``target_updates`` overrides the epoch count with an exact update
+        budget; when it is not a multiple of ``cycle_length`` the tail
+        updates beyond the last full epoch are recorded as a final *partial*
+        epoch (flagged in ``history.metadata['final_epoch_partial_updates']``)
+        rather than silently dropped.
+        """
+        if target_updates is None:
+            if num_epochs is None or num_epochs < 1:
+                raise ValueError("num_epochs must be >= 1")
+            target_updates = num_epochs * self.cycle_length
+        elif target_updates < 1:
+            raise ValueError("target_updates must be >= 1")
         if record_every < 1:
             raise ValueError("record_every must be >= 1")
 
@@ -123,7 +135,6 @@ class EQCMasterNode:
             },
         )
 
-        target_updates = num_epochs * self.cycle_length
         pending: list[_InFlight] = []
         sequence = 0
         now = self._start_time
@@ -173,6 +184,22 @@ class EQCMasterNode:
             if self.telemetry.updates_applied < target_updates:
                 sequence += 1
                 heapq.heappush(pending, self._dispatch(client, now, sequence))
+
+        # Tail updates past the last full epoch boundary: record them as a
+        # final partial epoch so truncated update budgets stay visible.
+        tail_updates = self.telemetry.updates_applied - epoch_completed * self.cycle_length
+        if tail_updates > 0:
+            history.add(
+                EpochRecord(
+                    epoch=epoch_completed + 1,
+                    sim_time_hours=(now - self._start_time) / SECONDS_PER_HOUR,
+                    loss=self.objective.exact_loss(self.state.snapshot()),
+                    parameters=self.state.snapshot(),
+                    weights=dict(self._weights),
+                )
+            )
+            history.metadata["final_epoch_partial_updates"] = tail_updates
+            history.final_epoch_fraction = tail_updates / self.cycle_length
 
         history.total_updates = self.telemetry.updates_applied
         history.total_jobs = self.telemetry.jobs_dispatched

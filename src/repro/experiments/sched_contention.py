@@ -1,0 +1,167 @@
+"""Multi-tenant contention experiment: EQC throughput under tenant storms.
+
+The paper motivates EQC with shared cloud devices buried under community
+traffic; PR 1's batched execution layer made single runs fast, and the
+``sched`` subsystem makes the *cloud* real.  This driver quantifies both
+axes the new layer opens:
+
+* **load sweep** — EQC epochs/hour as the background tenant population grows
+  (0 → storm), the contention analogue of the paper's epochs/hour bars;
+* **policy sweep** — how the scheduling policy divides the pain between the
+  EQC tenant and the background community (FIFO vs fair-share etc.),
+  measured by per-tenant mean queue wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.reporting import format_kv, format_table
+from ..core.ensemble import EQCConfig, EQCEnsemble
+from ..core.history import TrainingHistory
+from ..core.objective import EnergyObjective
+from ..vqa import heisenberg_vqe_problem
+
+__all__ = [
+    "ContentionConfig",
+    "ContentionCell",
+    "ContentionResult",
+    "run_sched_contention",
+    "render_contention",
+]
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """One contention experiment: a (policy x tenant-load) grid."""
+
+    device_names: tuple[str, ...] = ("x2", "Belem", "Bogota")
+    tenant_levels: tuple[int, ...] = (0, 100, 1000)
+    policies: tuple[str, ...] = ("fifo", "fair_share")
+    num_epochs: int = 2
+    shots: int = 128
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.tenant_levels:
+            raise ValueError("need at least one tenant level")
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        if self.num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+
+
+@dataclass
+class ContentionCell:
+    """Outcome of one (policy, tenant-load) training run."""
+
+    policy: str
+    tenants: int
+    history: TrainingHistory
+    epochs_per_hour: float
+    eqc_mean_wait_seconds: float
+    tenant_mean_wait_seconds: float
+    tenant_jobs_completed: int
+    tenant_jobs_rejected: int
+
+
+@dataclass
+class ContentionResult:
+    """The full grid plus the configuration that produced it."""
+
+    config: ContentionConfig
+    cells: list[ContentionCell] = field(default_factory=list)
+
+    def cell(self, policy: str, tenants: int) -> ContentionCell:
+        for entry in self.cells:
+            if entry.policy == policy and entry.tenants == tenants:
+                return entry
+        raise KeyError(f"no cell for policy={policy!r}, tenants={tenants}")
+
+    def epochs_per_hour_curve(self, policy: str) -> list[tuple[int, float]]:
+        """(tenants, epochs/hour) points for one policy, by rising load."""
+        points = [
+            (entry.tenants, entry.epochs_per_hour)
+            for entry in self.cells
+            if entry.policy == policy
+        ]
+        return sorted(points)
+
+
+def _run_cell(config: ContentionConfig, policy: str, tenants: int) -> ContentionCell:
+    problem = heisenberg_vqe_problem()
+    eqc_config = EQCConfig(
+        device_names=config.device_names,
+        shots=config.shots,
+        seed=config.seed,
+        scheduling_policy=policy,
+        background_tenants=tenants,
+        label=f"EQC[{policy}, {tenants} tenants]",
+    )
+    ensemble = EQCEnsemble(EnergyObjective(problem.estimator), eqc_config)
+    theta = np.linspace(0.1, 1.6, problem.num_parameters)
+    history = ensemble.train(theta, num_epochs=config.num_epochs)
+
+    assert ensemble.scheduler is not None
+    report = ensemble.scheduler.tenant_report()
+    eqc_stats = report.get("eqc", {})
+    background = {name: stats for name, stats in report.items() if name != "eqc"}
+    tenant_jobs = int(sum(s["jobs_completed"] for s in background.values()))
+    tenant_wait = (
+        float(
+            sum(s["jobs_completed"] * s["mean_wait_seconds"] for s in background.values())
+            / tenant_jobs
+        )
+        if tenant_jobs
+        else 0.0
+    )
+    rejected = sum(
+        queue.jobs_rejected for queue in ensemble.scheduler.queues.values()
+    )
+    return ContentionCell(
+        policy=policy,
+        tenants=tenants,
+        history=history,
+        epochs_per_hour=history.epochs_per_hour(),
+        eqc_mean_wait_seconds=float(eqc_stats.get("mean_wait_seconds", 0.0)),
+        tenant_mean_wait_seconds=tenant_wait,
+        tenant_jobs_completed=tenant_jobs,
+        tenant_jobs_rejected=rejected,
+    )
+
+
+def run_sched_contention(config: ContentionConfig | None = None) -> ContentionResult:
+    """Run the full (policy x tenant-load) grid."""
+    config = config or ContentionConfig()
+    result = ContentionResult(config=config)
+    for policy in config.policies:
+        for tenants in config.tenant_levels:
+            result.cells.append(_run_cell(config, policy, tenants))
+    return result
+
+
+def render_contention(result: ContentionResult) -> str:
+    """Text rendering of the contention grid."""
+    rows = [
+        {
+            "policy": cell.policy,
+            "tenants": cell.tenants,
+            "epochs_per_hour": cell.epochs_per_hour,
+            "eqc_wait_s": cell.eqc_mean_wait_seconds,
+            "tenant_wait_s": cell.tenant_mean_wait_seconds,
+            "tenant_jobs": cell.tenant_jobs_completed,
+            "rejected": cell.tenant_jobs_rejected,
+        }
+        for cell in result.cells
+    ]
+    header = format_kv(
+        {
+            "devices": ",".join(result.config.device_names),
+            "epochs": result.config.num_epochs,
+            "shots": result.config.shots,
+            "seed": result.config.seed,
+        }
+    )
+    return f"{header}\n{format_table(rows)}"

@@ -1,0 +1,47 @@
+"""Discrete-event multi-tenant scheduling for the shared quantum cloud.
+
+The ``sched`` layer replaces the closed-form queue-delay draws of
+:mod:`repro.cloud.queueing` with an actual simulation of contention: one
+event kernel, capacity-1 device queues with calibration-window downtime,
+pluggable scheduling policies, and a Poisson background-tenant workload, so
+EQC training jobs compete with community traffic for the same devices.
+
+The statistical model survives as :class:`StatisticalQueuePolicy`, the
+provider's default path, keeping every pre-scheduler seeded history
+bit-exact.
+"""
+
+from .kernel import Event, EventKernel
+from .policies import (
+    POLICY_REGISTRY,
+    CalibrationAwarePolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    LeastLoadedPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    StatisticalQueuePolicy,
+    resolve_policy,
+)
+from .queues import DeviceServiceQueue, SchedJob
+from .scheduler import DEFAULT_DOWNTIME_SECONDS, CloudScheduler
+from .workload import WorkloadGenerator
+
+__all__ = [
+    "Event",
+    "EventKernel",
+    "SchedJob",
+    "DeviceServiceQueue",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "FairSharePolicy",
+    "LeastLoadedPolicy",
+    "CalibrationAwarePolicy",
+    "StatisticalQueuePolicy",
+    "POLICY_REGISTRY",
+    "resolve_policy",
+    "WorkloadGenerator",
+    "CloudScheduler",
+    "DEFAULT_DOWNTIME_SECONDS",
+]

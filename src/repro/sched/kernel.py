@@ -1,0 +1,188 @@
+"""The discrete-event kernel: one heap, one clock, deterministic replay.
+
+Everything the multi-tenant cloud does — job arrivals, service starts and
+completions, calibration downtime windows, background tenant traffic — is an
+:class:`Event` on a single binary heap.  The kernel pops events in
+``(time, priority, sequence)`` order, so two runs with the same seeds process
+exactly the same events in exactly the same order, which is the property every
+scheduling experiment in this reproduction leans on.
+
+Two design points deserve a note:
+
+* **The clock is a high-water mark.**  The kernel shares the cloud's
+  :class:`~repro.cloud.clock.VirtualClock`; every processed event calls
+  ``advance_to(event.time)``, which is a documented no-op for past timestamps.
+  The EQC master replays job completions out of submission order (it pops the
+  *earliest* finish among in-flight jobs, then dispatches at that time), so an
+  EQC submission may carry a timestamp older than the furthest point the
+  kernel has already simulated.  Such events are legal: they are heap-ordered
+  against all *pending* events by their own timestamp, they execute with that
+  timestamp, and they simply cannot rewind work the kernel already committed
+  (a late submission queues behind already-simulated traffic on its device,
+  exactly as it would on a real cloud).
+* **RNG streams are per label.**  :meth:`EventKernel.rng_stream` derives an
+  independent ``numpy`` generator from ``(kernel seed, crc32(label))``, so the
+  tenant-arrival randomness of one device never depends on how many draws
+  another device consumed — scheduling order cannot leak into the statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..cloud.clock import VirtualClock
+
+__all__ = ["Event", "EventKernel"]
+
+#: An event's behaviour: called with the event's timestamp when it fires.
+EventAction = Callable[[float], None]
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence, ordered by ``(time, priority, sequence)``.
+
+    ``priority`` breaks ties among simultaneous events (lower fires first);
+    ``sequence`` is a kernel-assigned monotone counter that makes the order
+    total and therefore deterministic.  The kernel stores the ordering key
+    as a plain tuple on its heap (tuple comparison runs in C, which is most
+    of the kernel's throughput), so the dataclass itself is not ordered.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: str = "event"
+    action: EventAction | None = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the kernel discards it when popped."""
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+
+class EventKernel:
+    """A deterministic discrete-event simulation kernel."""
+
+    def __init__(self, clock: VirtualClock | None = None, seed: int = 0) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.seed = int(seed)
+        #: Heap of ``(time, priority, sequence, Event)``; the unique sequence
+        #: guarantees the Event object itself is never compared.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """High-water mark of simulated time (seconds)."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest live pending event (``None`` if empty)."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    def rng_stream(self, label: str) -> np.random.Generator:
+        """An independent, reproducible RNG stream for one named entity.
+
+        The stream depends only on the kernel seed and the label (via a
+        stable CRC-32, never Python's randomized ``hash``), so per-device
+        randomness is identical across runs and across event interleavings.
+        """
+        return np.random.default_rng((self.seed, zlib.crc32(label.encode()), 0xE7E7))
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        action: EventAction,
+        priority: int = 0,
+        kind: str = "event",
+    ) -> Event:
+        """Add an event to the heap and return it (for cancellation)."""
+        if time < 0:
+            raise ValueError("events cannot be scheduled before t=0")
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            sequence=next(self._sequence),
+            kind=kind,
+            action=action,
+        )
+        heapq.heappush(self._heap, (event.time, event.priority, event.sequence, event))
+        return event
+
+    def step(self) -> Event | None:
+        """Pop and execute the earliest live event (``None`` when drained)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.events_processed += 1
+            if event.action is not None:
+                event.action(event.time)
+            return event
+        return None
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_events: int = 50_000_000,
+    ) -> int:
+        """Process events until ``predicate()`` holds; returns events run.
+
+        Raises ``RuntimeError`` if the heap drains (or ``max_events`` is hit)
+        before the predicate is satisfied — a scheduler deadlock is a bug, not
+        a quiet hang.
+        """
+        processed = 0
+        while not predicate():
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"run_until exceeded {max_events} events without satisfying "
+                    "its predicate (runaway workload or scheduler deadlock)"
+                )
+            if self.step() is None:
+                raise RuntimeError(
+                    "event heap drained before run_until's predicate held"
+                )
+            processed += 1
+        return processed
+
+    def run_until_time(self, timestamp: float) -> int:
+        """Process every pending event with ``time <= timestamp``."""
+        processed = 0
+        while True:
+            upcoming = self.next_event_time()
+            if upcoming is None or upcoming > timestamp:
+                break
+            self.step()
+            processed += 1
+        self.clock.advance_to(timestamp)
+        return processed
+
+    def __repr__(self) -> str:
+        return (
+            f"EventKernel(t={self.now:.1f}s, pending={self.pending}, "
+            f"processed={self.events_processed})"
+        )

@@ -1,0 +1,161 @@
+"""Pluggable scheduling policies: who runs next, and on which device.
+
+A :class:`SchedulingPolicy` answers the two questions a multi-tenant cloud
+scheduler faces:
+
+* **ordering** — when a device frees up, which waiting job starts
+  (:meth:`SchedulingPolicy.next_job`), and
+* **placement** — when a job arrives without a pinned device, where it goes
+  (:meth:`SchedulingPolicy.select_device`).
+
+All decisions are deterministic functions of queue state: ties break by
+arrival order (ordering) or device name (placement), never by RNG or dict
+iteration accidents, so policy sweeps are exactly reproducible.
+
+:class:`StatisticalQueuePolicy` is the odd one out: it is the pre-kernel
+closed-form queue model (lognormal congestion wait against the device's
+``free_at``), kept as the :class:`~repro.cloud.provider.CloudProvider`
+default so every seeded history recorded before the scheduler existed stays
+bit-exact.  It never touches the event kernel.  (It lives in
+:mod:`repro.cloud.queueing` next to the model it wraps, so the ``cloud``
+layer never imports ``sched``; it is re-exported here as part of the policy
+family.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..cloud.queueing import StatisticalQueuePolicy
+from .queues import DeviceServiceQueue, SchedJob
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "FairSharePolicy",
+    "LeastLoadedPolicy",
+    "CalibrationAwarePolicy",
+    "StatisticalQueuePolicy",
+    "POLICY_REGISTRY",
+    "resolve_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base policy: FIFO ordering, least-backlog placement for unpinned jobs."""
+
+    name = "base"
+
+    def next_job(
+        self,
+        waiting: Sequence[SchedJob],
+        queue: DeviceServiceQueue,
+        now: float,
+    ) -> int:
+        """Index into ``waiting`` (arrival-ordered) of the job to start."""
+        return 0
+
+    def select_device(
+        self,
+        job: SchedJob,
+        queues: Mapping[str, DeviceServiceQueue],
+        now: float,
+    ) -> str:
+        """Target device for a job (pinned jobs are returned as-is)."""
+        if job.device_name is not None:
+            return job.device_name
+        return min(
+            queues.values(), key=lambda q: (q.backlog_seconds(now), q.name)
+        ).name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First come, first served — the baseline every cloud queue starts as."""
+
+    name = "fifo"
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Highest :attr:`SchedJob.priority` first; FIFO among equals."""
+
+    name = "priority"
+
+    def next_job(self, waiting, queue, now):
+        return min(range(len(waiting)), key=lambda i: (-waiting[i].priority, i))
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Serve the tenant with the least accumulated device time.
+
+    A tenant that floods the queue accrues service quickly and yields to
+    light tenants, which bounds the latency a sparse tenant pays under a
+    storm — the separation ``tests/test_sched`` pins against FIFO.
+    """
+
+    name = "fair_share"
+
+    def next_job(self, waiting, queue, now):
+        given = queue.service_given
+        return min(
+            range(len(waiting)),
+            key=lambda i: (given.get(waiting[i].tenant, 0.0), i),
+        )
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Place unpinned jobs on the device with the smallest backlog."""
+
+    name = "least_loaded"
+
+
+class CalibrationAwarePolicy(SchedulingPolicy):
+    """Place unpinned jobs on the freshest-calibrated available device.
+
+    Devices inside a calibration window are penalized by their time until
+    reopening; among open devices the one with the youngest calibration (the
+    best expected ``PCorrect``, per the paper's Fig. 4 freshness effect) wins.
+    """
+
+    name = "calibration_aware"
+
+    def select_device(self, job, queues, now):
+        if job.device_name is not None:
+            return job.device_name
+
+        def key(q: DeviceServiceQueue):
+            reopen = max(0.0, q.downtime_until - float(now))
+            visible = max(float(now), q.downtime_until)
+            return (reopen, q.qpu.hours_since_calibration(visible), q.name)
+
+        return min(queues.values(), key=key).name
+
+
+POLICY_REGISTRY: dict[str, type[SchedulingPolicy]] = {
+    policy.name: policy
+    for policy in (
+        FifoPolicy,
+        PriorityPolicy,
+        FairSharePolicy,
+        LeastLoadedPolicy,
+        CalibrationAwarePolicy,
+    )
+}
+
+
+def resolve_policy(policy: "SchedulingPolicy | str | None") -> SchedulingPolicy:
+    """Normalize a policy argument (instance, registry name, or ``None``)."""
+    if policy is None:
+        return FifoPolicy()
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICY_REGISTRY[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; "
+            f"known: {sorted(POLICY_REGISTRY)}"
+        ) from None

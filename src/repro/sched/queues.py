@@ -1,0 +1,288 @@
+"""Per-device service queues: capacity-1 devices with calibration downtime.
+
+One :class:`DeviceServiceQueue` models what one shared cloud QPU actually is:
+a single serial resource that every tenant's jobs funnel through.  Jobs wait
+in an arrival-ordered list; whenever the device is free (not serving, not in a
+calibration window), the active :class:`~repro.sched.policies.SchedulingPolicy`
+picks which waiting job runs next.  Service is capacity-1 and non-preemptive —
+a calibration window that opens mid-job lets the job finish, then holds the
+queue shut until the window closes.
+
+Calibration downtime is driven by the same :mod:`repro.noise.drift` physics
+that degrades circuit fidelity: at every calibration boundary the device goes
+down for ``base downtime x drift factor at the end of the previous cycle`` —
+a device that drifted badly needs a longer recalibration, which is another
+channel through which device weather shapes tenant-visible latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..cloud.clock import SECONDS_PER_HOUR
+from ..cloud.queueing import QueueModel
+from ..devices.qpu import QPU, job_slot_circuit_seconds
+from .kernel import Event, EventKernel
+
+if TYPE_CHECKING:  # pragma: no cover - circular only for type checkers
+    from .policies import SchedulingPolicy
+
+__all__ = ["SchedJob", "DeviceServiceQueue", "EVENT_PRIORITY"]
+
+#: Tie-break priorities for simultaneous events: a calibration window opens
+#: before a completion frees the device, completions free the device before
+#: new arrivals see it, and wake-ups run last.
+EVENT_PRIORITY = {
+    "downtime": -1,
+    "service_complete": 0,
+    "arrival": 1,
+    "wakeup": 2,
+}
+
+#: Runs a job's physics at its service start time, returns elapsed seconds.
+ServiceFn = Callable[[float], float]
+
+
+@dataclass
+class SchedJob:
+    """One unit of device work inside the scheduler (EQC or tenant).
+
+    The job doubles as the *handle* callers hold: ``start_time`` and
+    ``finish_time`` are populated as the kernel simulates it, and ``done``
+    flips once the completion event has fired.
+
+    Attributes:
+        job_id: scheduler-assigned id (monotone, deterministic).
+        tenant: owning tenant ("eqc" for foreground training jobs).
+        device_name: target device; ``None`` until the policy routes the job.
+        arrival_time: simulation time the job enters the system.
+        num_circuits: batch size (drives the default service duration).
+        priority: larger = more urgent (used by priority policies only).
+        foreground: foreground jobs (EQC training) are always admitted;
+            background tenant jobs are rejected when the device queue is at
+            its admission-control cap.
+        service: optional physics callback; called once with the service
+            start time, must return the elapsed device seconds.  Tenant jobs
+            leave this ``None`` and get the device-clock default.
+    """
+
+    job_id: int
+    tenant: str
+    device_name: str | None = None
+    arrival_time: float = 0.0
+    num_circuits: int = 2
+    priority: int = 0
+    foreground: bool = False
+    service: ServiceFn | None = None
+    start_time: float | None = None
+    finish_time: float | None = None
+    service_seconds: float = 0.0
+    rejected: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def wait_seconds(self) -> float:
+        """Arrival-to-service latency (0 until the job starts)."""
+        if self.start_time is None:
+            return 0.0
+        return max(0.0, self.start_time - self.arrival_time)
+
+    @property
+    def turnaround_seconds(self) -> float:
+        if self.finish_time is None:
+            return 0.0
+        return max(0.0, self.finish_time - self.arrival_time)
+
+
+@dataclass
+class DowntimeWindow:
+    """One calibration outage: [start, start + duration)."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class DeviceServiceQueue:
+    """The kernel-side state of one device: waiting jobs, service, downtime."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        qpu: QPU,
+        queue_model: QueueModel,
+        policy: "SchedulingPolicy",
+        downtime_base_seconds: float = 0.0,
+        max_queue_length: int | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.qpu = qpu
+        self.queue_model = queue_model
+        self.policy = policy
+        self.downtime_base_seconds = float(downtime_base_seconds)
+        #: Admission-control cap on *background* jobs: a tenant arrival is
+        #: rejected when the waiting list is this long.  Without a cap an
+        #: overloaded device (offered load > 1) grows its backlog without
+        #: bound and foreground latency diverges; real clouds bound the
+        #: queue, so the simulation does too.  Foreground jobs always enter.
+        self.max_queue_length = max_queue_length
+
+        self.waiting: list[SchedJob] = []
+        self.in_service: SchedJob | None = None
+        #: Device-local timeline: when the current/last service ends.
+        self.free_at = 0.0
+        #: End of the latest calibration window (0 when never down).
+        self.downtime_until = 0.0
+        self.downtime_windows: list[DowntimeWindow] = []
+
+        self.completed: list[SchedJob] = []
+        self.jobs_rejected = 0
+        self.busy_seconds = 0.0
+        #: Accumulated service per tenant (what fair-share policies consume).
+        self.service_given: dict[str, float] = {}
+        self._wakeup: Event | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.qpu.name
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.waiting)
+
+    def backlog_seconds(self, now: float) -> float:
+        """Estimated seconds of work ahead of a job arriving at ``now``.
+
+        The in-service remainder and any calibration window are exact; the
+        waiting jobs are estimated at the device's calibrated speed (their
+        true durations are only known once they start).
+        """
+        horizon = max(self.free_at, self.downtime_until) - float(now)
+        slot = job_slot_circuit_seconds(self.qpu.spec.base_job_seconds)
+        estimated = sum(slot * job.num_circuits for job in self.waiting)
+        return max(0.0, horizon) + estimated
+
+    def in_downtime(self, now: float) -> bool:
+        return float(now) < self.downtime_until
+
+    # ------------------------------------------------------------------
+    # calibration downtime lifecycle
+    # ------------------------------------------------------------------
+    def schedule_calibration_cycle(self) -> None:
+        """Arm the first calibration-window event (cycle-1 boundary)."""
+        if self.downtime_base_seconds <= 0:
+            return
+        period = self.qpu.spec.calibration_period_hours * SECONDS_PER_HOUR
+        self.kernel.schedule(
+            period,
+            self._begin_downtime,
+            priority=EVENT_PRIORITY["downtime"],
+            kind="downtime",
+        )
+
+    def _begin_downtime(self, now: float) -> None:
+        # Recalibration takes longer the further the device drifted during
+        # the cycle that just ended (sampled one second before the boundary).
+        factor = self.qpu.drift_factor(max(0.0, now - 1.0))
+        duration = self.downtime_base_seconds * factor
+        self.downtime_until = max(self.downtime_until, now + duration)
+        self.downtime_windows.append(DowntimeWindow(start=now, duration=duration))
+
+        period = self.qpu.spec.calibration_period_hours * SECONDS_PER_HOUR
+        self.kernel.schedule(
+            now + period,
+            self._begin_downtime,
+            priority=EVENT_PRIORITY["downtime"],
+            kind="downtime",
+        )
+        if self.in_service is None and self.waiting:
+            self._ensure_wakeup(self.downtime_until)
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: SchedJob, now: float) -> None:
+        """Admit a job to the waiting list and start it if the device is free."""
+        job.device_name = self.name
+        if (
+            not job.foreground
+            and self.max_queue_length is not None
+            and self.queue_length >= self.max_queue_length
+        ):
+            job.rejected = True
+            self.jobs_rejected += 1
+            return
+        self.waiting.append(job)
+        if self.in_service is None:
+            # A late-replayed submission (arrival behind the device's local
+            # timeline) cannot rewind committed work: it queues from free_at.
+            self._try_start(max(now, self.free_at))
+
+    def _try_start(self, now: float) -> None:
+        if self.in_service is not None or not self.waiting:
+            return
+        if now < self.downtime_until:
+            self._ensure_wakeup(self.downtime_until)
+            return
+        index = self.policy.next_job(self.waiting, self, now)
+        job = self.waiting.pop(index)
+        self.in_service = job
+        job.start_time = now
+        duration = self._service_duration(job, now)
+        job.service_seconds = duration
+        self.free_at = now + duration
+        self.kernel.schedule(
+            self.free_at,
+            lambda t, job=job: self._complete(job, t),
+            priority=EVENT_PRIORITY["service_complete"],
+            kind="service_complete",
+        )
+
+    def _complete(self, job: SchedJob, now: float) -> None:
+        job.finish_time = now
+        self.in_service = None
+        self.completed.append(job)
+        self.busy_seconds += job.service_seconds
+        self.service_given[job.tenant] = (
+            self.service_given.get(job.tenant, 0.0) + job.service_seconds
+        )
+        self._try_start(now)
+
+    def _service_duration(self, job: SchedJob, start: float) -> float:
+        if job.service is not None:
+            return float(job.service(start))
+        # Default tenant physics: the device's drift-aware job clock, one
+        # half-slot per circuit (a full slot covers a forward/backward pair).
+        slot = job_slot_circuit_seconds(self.qpu.job_duration_seconds(start))
+        return slot * max(1, job.num_circuits)
+
+    # ------------------------------------------------------------------
+    def _ensure_wakeup(self, when: float) -> None:
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            if self._wakeup.time <= when:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.kernel.schedule(
+            when,
+            self._on_wakeup,
+            priority=EVENT_PRIORITY["wakeup"],
+            kind="wakeup",
+        )
+
+    def _on_wakeup(self, now: float) -> None:
+        self._wakeup = None
+        self._try_start(now)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceServiceQueue({self.name!r}, waiting={self.queue_length}, "
+            f"busy={self.in_service is not None}, free_at={self.free_at:.1f}s)"
+        )

@@ -1,0 +1,213 @@
+"""The cloud scheduler facade: kernel + device queues + policy + workload.
+
+:class:`CloudScheduler` is what the rest of the reproduction talks to.  The
+:class:`~repro.cloud.provider.CloudProvider` registers its fleet here and, in
+kernel mode, submits EQC jobs as :class:`~repro.sched.queues.SchedJob`
+handles whose physics run inside the service-start event; background tenant
+traffic from a :class:`~repro.sched.workload.WorkloadGenerator` competes in
+the same per-device queues under the same
+:class:`~repro.sched.policies.SchedulingPolicy`.
+
+The provider's submit-and-wait contract is preserved by
+:meth:`run_until_complete`: the kernel is advanced exactly until the handle's
+completion event fires, leaving all later traffic pending on the heap for the
+next submission to consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..cloud.clock import VirtualClock
+from ..cloud.queueing import QueueModel
+from ..devices.qpu import QPU
+from .kernel import EventKernel
+from .policies import SchedulingPolicy, resolve_policy
+from .queues import EVENT_PRIORITY, DeviceServiceQueue, SchedJob, ServiceFn
+from .workload import WorkloadGenerator
+
+__all__ = ["CloudScheduler"]
+
+#: Default device outage at each calibration boundary (before drift scaling).
+DEFAULT_DOWNTIME_SECONDS = 20 * 60.0
+
+#: Default admission-control cap on background jobs waiting per device.
+DEFAULT_MAX_QUEUE_LENGTH = 32
+
+
+class CloudScheduler:
+    """Discrete-event scheduler for a fleet of shared quantum devices."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | str | None = None,
+        workload: WorkloadGenerator | None = None,
+        seed: int = 0,
+        clock: VirtualClock | None = None,
+        downtime_seconds: float = DEFAULT_DOWNTIME_SECONDS,
+        max_queue_length: int | None = DEFAULT_MAX_QUEUE_LENGTH,
+    ) -> None:
+        self.kernel = EventKernel(clock=clock, seed=seed)
+        self.policy = resolve_policy(policy)
+        self.workload = workload
+        self.downtime_seconds = float(downtime_seconds)
+        self.max_queue_length = max_queue_length
+        self.queues: dict[str, DeviceServiceQueue] = {}
+        self._job_ids = itertools.count()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        return tuple(self.queues.keys())
+
+    def next_job_id(self) -> int:
+        return next(self._job_ids)
+
+    # ------------------------------------------------------------------
+    def register_device(self, qpu: QPU, queue_model: QueueModel) -> DeviceServiceQueue:
+        """Add one device to the simulated fleet (before any submission)."""
+        if self._started:
+            raise RuntimeError("cannot register devices after the first submission")
+        if qpu.name in self.queues:
+            raise ValueError(f"device {qpu.name!r} already registered")
+        queue = DeviceServiceQueue(
+            kernel=self.kernel,
+            qpu=qpu,
+            queue_model=queue_model,
+            policy=self.policy,
+            downtime_base_seconds=self.downtime_seconds,
+            max_queue_length=self.max_queue_length,
+        )
+        self.queues[qpu.name] = queue
+        return queue
+
+    def _ensure_started(self) -> None:
+        """Arm calibration-downtime and tenant-arrival events exactly once."""
+        if self._started:
+            return
+        if not self.queues:
+            raise RuntimeError("no devices registered with the scheduler")
+        self._started = True
+        for queue in self.queues.values():
+            queue.schedule_calibration_cycle()
+        if self.workload is not None:
+            self.workload.attach(self)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        device_name: str | None = None,
+        arrival: float = 0.0,
+        tenant: str = "eqc",
+        num_circuits: int = 2,
+        priority: int = 0,
+        service: ServiceFn | None = None,
+        duration: float | None = None,
+        foreground: bool = True,
+    ) -> SchedJob:
+        """Enqueue one job; returns its handle (not yet simulated).
+
+        ``device_name=None`` defers placement to the policy's
+        ``select_device`` at arrival time (least-loaded, calibration-aware).
+        Exactly one of ``service`` (physics callback) / ``duration`` (fixed
+        seconds) may be given; with neither, the device's drift-aware job
+        clock prices the batch.  Directly submitted jobs are *foreground*
+        (never rejected by admission control) unless stated otherwise.
+        """
+        self._ensure_started()
+        if service is not None and duration is not None:
+            raise ValueError("pass either service or duration, not both")
+        if duration is not None:
+            fixed = float(duration)
+            if fixed <= 0:
+                raise ValueError("duration must be positive")
+            service = lambda _start, _d=fixed: _d  # noqa: E731
+        if device_name is not None and device_name not in self.queues:
+            raise KeyError(f"unknown device {device_name!r}")
+        job = SchedJob(
+            job_id=self.next_job_id(),
+            tenant=tenant,
+            device_name=device_name,
+            arrival_time=float(arrival),
+            num_circuits=int(num_circuits),
+            priority=int(priority),
+            foreground=bool(foreground),
+            service=service,
+        )
+        self.kernel.schedule(
+            job.arrival_time,
+            lambda now, job=job: self._admit(job, now),
+            priority=EVENT_PRIORITY["arrival"],
+            kind="arrival",
+        )
+        return job
+
+    def _admit(self, job: SchedJob, now: float) -> None:
+        target = self.policy.select_device(job, self.queues, now)
+        self.queues[target].on_arrival(job, now)
+
+    # ------------------------------------------------------------------
+    def run_until_complete(self, job: SchedJob) -> SchedJob:
+        """Advance the kernel exactly until ``job``'s completion event fires."""
+        self.kernel.run_until(lambda: job.done)
+        return job
+
+    def run_until_time(self, timestamp: float) -> int:
+        """Process all pending events up to ``timestamp``; returns the count."""
+        self._ensure_started()
+        return self.kernel.run_until_time(timestamp)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def completed_jobs(self) -> list[SchedJob]:
+        """Every finished job fleet-wide, in completion order per device."""
+        return [job for queue in self.queues.values() for job in queue.completed]
+
+    def tenant_report(self) -> dict[str, dict[str, float]]:
+        """Per-tenant latency/throughput aggregates across the fleet."""
+        jobs: dict[str, list[SchedJob]] = {}
+        for job in self.completed_jobs():
+            jobs.setdefault(job.tenant, []).append(job)
+        report: dict[str, dict[str, float]] = {}
+        for tenant, tenant_jobs in sorted(jobs.items()):
+            waits = [job.wait_seconds for job in tenant_jobs]
+            turnarounds = [job.turnaround_seconds for job in tenant_jobs]
+            report[tenant] = {
+                "jobs_completed": float(len(tenant_jobs)),
+                "mean_wait_seconds": float(sum(waits) / len(waits)),
+                "max_wait_seconds": float(max(waits)),
+                "mean_turnaround_seconds": float(sum(turnarounds) / len(turnarounds)),
+            }
+        return report
+
+    def metrics(self) -> dict[str, object]:
+        """Kernel and per-device counters for benchmarks and experiments."""
+        per_device = {
+            name: {
+                "jobs_completed": len(queue.completed),
+                "jobs_rejected": queue.jobs_rejected,
+                "waiting": queue.queue_length,
+                "busy_seconds": queue.busy_seconds,
+                "downtime_windows": len(queue.downtime_windows),
+                "downtime_seconds": sum(w.duration for w in queue.downtime_windows),
+            }
+            for name, queue in self.queues.items()
+        }
+        return {
+            "policy": self.policy.name,
+            "events_processed": self.kernel.events_processed,
+            "simulated_seconds": self.kernel.now,
+            "devices": per_device,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CloudScheduler(policy={self.policy.name!r}, "
+            f"devices={len(self.queues)}, t={self.now:.1f}s)"
+        )

@@ -1,0 +1,129 @@
+"""Synthetic background tenant traffic for the multi-tenant cloud.
+
+The paper motivates EQC with devices shared by a whole community: queue
+delays are congestion-dependent because *other people's jobs* are in front of
+yours.  The :class:`WorkloadGenerator` makes that literal — it injects a
+Poisson stream of tenant jobs per device into the event kernel, so EQC
+gradient jobs genuinely compete for capacity-1 devices instead of sampling a
+closed-form wait.
+
+Arrival rates follow the same structure as the statistical
+:class:`~repro.cloud.queueing.QueueModel` they replace: each device's rate is
+the fleet-wide tenant rate scaled by the device's ``popularity`` (users pile
+onto well-rated devices) and its diurnal ``congestion_factor`` (community
+load swings by time of day).  The process is a piecewise-homogeneous
+approximation of the non-homogeneous Poisson process: each inter-arrival gap
+is drawn at the rate in force when the previous arrival fired, which is
+accurate because the rate varies on a multi-hour scale while gaps are
+seconds to minutes.
+
+Determinism: every device draws from its own kernel RNG stream
+(``workload/<device>``), so the traffic on one device is a pure function of
+the kernel seed — independent of fleet composition order or of how far other
+devices have been simulated.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..cloud.clock import SECONDS_PER_HOUR
+from ..cloud.queueing import QueueModel
+from .queues import EVENT_PRIORITY, DeviceServiceQueue, SchedJob
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import CloudScheduler
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Poisson background tenant traffic across a device fleet.
+
+    Attributes:
+        num_tenants: size of the simulated community (0 disables traffic).
+        jobs_per_tenant_hour: fleet-wide submission rate per tenant before
+            popularity/diurnal scaling.
+        circuit_range: inclusive (lo, hi) batch size of one tenant job.
+        max_priority: tenant jobs draw a priority in [0, max_priority]
+            (0 keeps every tenant job at the EQC default priority).
+    """
+
+    def __init__(
+        self,
+        num_tenants: int,
+        jobs_per_tenant_hour: float = 1.0,
+        circuit_range: tuple[int, int] = (2, 8),
+        max_priority: int = 0,
+    ) -> None:
+        if num_tenants < 0:
+            raise ValueError("num_tenants must be non-negative")
+        if jobs_per_tenant_hour <= 0:
+            raise ValueError("jobs_per_tenant_hour must be positive")
+        lo, hi = circuit_range
+        if not 1 <= lo <= hi:
+            raise ValueError("circuit_range must satisfy 1 <= lo <= hi")
+        if max_priority < 0:
+            raise ValueError("max_priority must be non-negative")
+        self.num_tenants = int(num_tenants)
+        self.jobs_per_tenant_hour = float(jobs_per_tenant_hour)
+        self.circuit_range = (int(lo), int(hi))
+        self.max_priority = int(max_priority)
+        self.jobs_injected = 0
+
+    # ------------------------------------------------------------------
+    def arrival_rate(self, model: QueueModel, now: float) -> float:
+        """Instantaneous arrivals/second on one device at time ``now``."""
+        if self.num_tenants == 0:
+            return 0.0
+        base = self.num_tenants * self.jobs_per_tenant_hour / SECONDS_PER_HOUR
+        return base * model.popularity * model.congestion_factor(now)
+
+    # ------------------------------------------------------------------
+    def attach(self, scheduler: "CloudScheduler") -> None:
+        """Arm the first arrival event on every registered device."""
+        if self.num_tenants == 0:
+            return
+        for queue in scheduler.queues.values():
+            rng = scheduler.kernel.rng_stream(f"workload/{queue.name}")
+            self._schedule_next(scheduler, queue, rng, now=scheduler.kernel.now)
+
+    def _schedule_next(
+        self,
+        scheduler: "CloudScheduler",
+        queue: DeviceServiceQueue,
+        rng: np.random.Generator,
+        now: float,
+    ) -> None:
+        rate = self.arrival_rate(queue.queue_model, now)
+        if rate <= 0.0:
+            return
+        gap = float(rng.exponential(1.0 / rate))
+        scheduler.kernel.schedule(
+            now + gap,
+            lambda t: self._on_arrival(scheduler, queue, rng, t),
+            priority=EVENT_PRIORITY["arrival"],
+            kind="tenant_arrival",
+        )
+
+    def _on_arrival(
+        self,
+        scheduler: "CloudScheduler",
+        queue: DeviceServiceQueue,
+        rng: np.random.Generator,
+        now: float,
+    ) -> None:
+        lo, hi = self.circuit_range
+        job = SchedJob(
+            job_id=scheduler.next_job_id(),
+            tenant=f"tenant{int(rng.integers(self.num_tenants))}",
+            device_name=queue.name,
+            arrival_time=now,
+            num_circuits=int(rng.integers(lo, hi + 1)),
+            priority=int(rng.integers(self.max_priority + 1)),
+        )
+        self.jobs_injected += 1
+        queue.on_arrival(job, now)
+        self._schedule_next(scheduler, queue, rng, now)

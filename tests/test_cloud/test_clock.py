@@ -43,6 +43,19 @@ class TestVirtualClock:
         clock.advance_to(20.0)  # no-op when in the past
         assert clock.now == pytest.approx(50.0)
 
+    def test_advance_to_past_is_documented_noop(self):
+        """Sleep-until contract the event kernel depends on: a past (or
+        equal) timestamp never raises, never rewinds, and returns the
+        unchanged current time (see repro.sched.kernel — late-replayed EQC
+        submissions carry timestamps the clock has already passed)."""
+        clock = VirtualClock(100.0)
+        for past in (0.0, 50.0, 99.999, 100.0):
+            result = clock.advance_to(past)
+            assert result == pytest.approx(100.0)
+            assert clock.now == pytest.approx(100.0)
+        # and forward motion still works afterwards
+        assert clock.advance_to(101.0) == pytest.approx(101.0)
+
     def test_now_hours(self):
         clock = VirtualClock(7200.0)
         assert clock.now_hours == pytest.approx(2.0)

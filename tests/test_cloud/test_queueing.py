@@ -47,6 +47,37 @@ class TestQueueModel:
         rng = np.random.default_rng(2)
         assert all(model.sample_wait(t, rng) >= 0 for t in range(0, 100000, 7919))
 
+    def test_congestion_factor_bounds_over_full_day(self):
+        """A fine-grained 24h sweep stays within the documented envelope:
+        at least 0.25, at most (1 + amplitude) * (0.5 + popularity)."""
+        for popularity in (0.0, 0.35, 0.95):
+            for amplitude in (0.0, 0.4, 1.0):
+                model = QueueModel(popularity=popularity, diurnal_amplitude=amplitude)
+                ceiling = (1.0 + amplitude) * (0.5 + popularity)
+                for minute in range(0, 24 * 60, 10):
+                    factor = model.congestion_factor(minute * 60.0)
+                    assert 0.25 <= factor <= ceiling + 1e-12
+
+    def test_congestion_factor_is_24h_periodic(self):
+        model = QueueModel(popularity=0.6, diurnal_amplitude=0.5)
+        day = 24 * 3600.0
+        for t in (0.0, 3 * 3600.0, 17.25 * 3600.0):
+            assert model.congestion_factor(t) == pytest.approx(
+                model.congestion_factor(t + day)
+            )
+
+    def test_sample_wait_deterministic_under_fixed_seed(self):
+        model = QueueModel(mean_wait_seconds=120.0, sigma=0.7, popularity=0.6)
+        times = [0.0, 3600.0, 40000.0, 90000.0]
+        first = [model.sample_wait(t, np.random.default_rng(77)) for t in times]
+        second = [model.sample_wait(t, np.random.default_rng(77)) for t in times]
+        assert first == second
+        # and the draw sequence matters: one shared generator advances state
+        rng = np.random.default_rng(77)
+        chained = [model.sample_wait(t, rng) for t in times]
+        assert chained[0] == first[0]
+        assert chained[1:] != first[1:]
+
 
 class TestDefaultModels:
     def test_all_catalog_devices_have_models(self):
@@ -56,6 +87,14 @@ class TestDefaultModels:
 
     def test_unknown_device_gets_fallback(self):
         assert queue_model_for("nonexistent") is not None
+
+    def test_fallback_is_the_shared_generic_model(self):
+        fallback = queue_model_for("nonexistent")
+        assert fallback == QueueModel()
+        # the fallback is one shared instance, not re-built per lookup
+        assert queue_model_for("also-unknown") is fallback
+        # known devices never fall through to it
+        assert queue_model_for("Belem") is DEFAULT_QUEUE_MODELS["Belem"]
 
     def test_congested_devices_wait_longer(self):
         assert (

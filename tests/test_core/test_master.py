@@ -113,6 +113,43 @@ class TestMasterTraining:
                 initial_parameters=np.zeros(16),
             )
 
+    def test_target_updates_records_final_partial_epoch(self, vqe_problem):
+        """A budget that is not a multiple of cycle_length keeps its tail:
+        the trailing updates land in a final partial EpochRecord instead of
+        being silently dropped from the history."""
+        master = build_master(vqe_problem)
+        target = master.cycle_length * 2 + 5
+        history = master.train(target_updates=target)
+        assert master.telemetry.updates_applied == target
+        assert history.total_updates == target
+        assert list(history.epochs) == [1, 2, 3]
+        assert history.metadata["final_epoch_partial_updates"] == 5
+        # The partial record reflects the post-tail parameters.
+        assert history.records[-1].parameters == master.state.snapshot()
+        # Throughput counts the tail as a fraction, not a full epoch.
+        assert history.final_epoch_fraction == pytest.approx(5 / 16)
+        expected_rate = (2 + 5 / 16) / history.total_hours()
+        assert history.epochs_per_hour() == pytest.approx(expected_rate)
+
+    def test_target_updates_multiple_of_cycle_has_no_partial_record(self, vqe_problem):
+        master = build_master(vqe_problem)
+        history = master.train(target_updates=master.cycle_length * 2)
+        assert list(history.epochs) == [1, 2]
+        assert "final_epoch_partial_updates" not in history.metadata
+
+    def test_partial_tail_smaller_than_one_epoch(self, vqe_problem):
+        master = build_master(vqe_problem)
+        history = master.train(target_updates=3)
+        assert list(history.epochs) == [1]
+        assert history.metadata["final_epoch_partial_updates"] == 3
+        assert history.total_updates == 3
+
+    def test_invalid_target_updates_rejected(self, vqe_problem):
+        with pytest.raises(ValueError):
+            build_master(vqe_problem).train(target_updates=0)
+        with pytest.raises(ValueError):
+            build_master(vqe_problem).train()
+
     def test_deterministic_given_seed(self, vqe_problem):
         a = build_master(vqe_problem, seed=5).train(num_epochs=2)
         b = build_master(vqe_problem, seed=5).train(num_epochs=2)

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event kernel: ordering, determinism, clock contract."""
+
+import pytest
+
+from repro.cloud.clock import VirtualClock
+from repro.sched.kernel import EventKernel
+
+
+def record_trace(kernel, entries):
+    """Schedule events that append (time, tag) to ``entries`` when fired."""
+    for time, priority, tag in (
+        (5.0, 0, "a"),
+        (1.0, 0, "b"),
+        (5.0, -1, "c"),
+        (5.0, 0, "d"),
+        (2.0, 1, "e"),
+    ):
+        kernel.schedule(time, lambda t, tag=tag: entries.append((t, tag)), priority=priority)
+
+
+class TestEventOrdering:
+    def test_time_then_priority_then_sequence(self):
+        kernel = EventKernel()
+        trace = []
+        record_trace(kernel, trace)
+        while kernel.step() is not None:
+            pass
+        # b(t=1) first, then e(t=2); at t=5 priority -1 beats 0, and among
+        # equal (time, priority) the earlier-scheduled event wins.
+        assert trace == [(1.0, "b"), (2.0, "e"), (5.0, "c"), (5.0, "a"), (5.0, "d")]
+
+    def test_identical_seeds_replay_identical_traces(self):
+        traces = []
+        for _ in range(2):
+            kernel = EventKernel(seed=42)
+            trace = []
+            rng = kernel.rng_stream("device")
+            for _ in range(50):
+                kernel.schedule(
+                    float(rng.uniform(0, 100)),
+                    lambda t: trace.append(round(t, 9)),
+                    priority=int(rng.integers(0, 3)),
+                )
+            while kernel.step() is not None:
+                pass
+            traces.append(trace)
+        assert traces[0] == traces[1]
+
+    def test_rng_streams_are_label_independent(self):
+        kernel = EventKernel(seed=3)
+        a1 = kernel.rng_stream("Belem").uniform(size=4).tolist()
+        # Consuming another label's stream never perturbs Belem's.
+        kernel.rng_stream("Bogota").uniform(size=100)
+        a2 = kernel.rng_stream("Belem").uniform(size=4).tolist()
+        assert a1 == a2
+
+    def test_cancelled_events_are_skipped(self):
+        kernel = EventKernel()
+        fired = []
+        event = kernel.schedule(1.0, lambda t: fired.append("cancelled"))
+        kernel.schedule(2.0, lambda t: fired.append("kept"))
+        event.cancel()
+        while kernel.step() is not None:
+            pass
+        assert fired == ["kept"]
+
+
+class TestClockIntegration:
+    def test_clock_is_high_water_mark(self):
+        clock = VirtualClock()
+        kernel = EventKernel(clock=clock)
+        kernel.schedule(100.0, lambda t: None)
+        kernel.step()
+        assert clock.now == pytest.approx(100.0)
+
+    def test_past_events_execute_without_rewinding_the_clock(self):
+        """A late-replayed submission fires with its own timestamp while the
+        shared clock stays at its high-water mark (advance_to no-op)."""
+        kernel = EventKernel()
+        kernel.schedule(100.0, lambda t: None)
+        kernel.step()
+        seen = []
+        kernel.schedule(10.0, lambda t: seen.append(t))
+        kernel.step()
+        assert seen == [10.0]
+        assert kernel.now == pytest.approx(100.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventKernel().schedule(-1.0, lambda t: None)
+
+
+class TestRunHelpers:
+    def test_run_until_time_processes_due_events_only(self):
+        kernel = EventKernel()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 10.0):
+            kernel.schedule(t, lambda now, t=t: fired.append(t))
+        assert kernel.run_until_time(3.0) == 3
+        assert fired == [1.0, 2.0, 3.0]
+        assert kernel.pending == 1
+        assert kernel.now == pytest.approx(3.0)
+
+    def test_run_until_raises_on_drained_heap(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda t: None)
+        with pytest.raises(RuntimeError):
+            kernel.run_until(lambda: False)
+
+    def test_run_until_counts_events(self):
+        kernel = EventKernel()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, lambda now: fired.append(now))
+        assert kernel.run_until(lambda: len(fired) == 2) == 2

@@ -1,0 +1,102 @@
+"""Tests for the synthetic background tenant workload generator."""
+
+import pytest
+
+from repro.cloud.queueing import QueueModel, queue_model_for
+from repro.devices.catalog import build_qpu
+from repro.sched import CloudScheduler, WorkloadGenerator
+
+
+def scheduler_with_traffic(num_tenants, devices=("Belem",), seed=0, **workload_kwargs):
+    workload = WorkloadGenerator(num_tenants=num_tenants, **workload_kwargs)
+    scheduler = CloudScheduler(
+        policy="fifo", workload=workload, seed=seed, downtime_seconds=0.0
+    )
+    for name in devices:
+        scheduler.register_device(build_qpu(name), queue_model_for(name))
+    return scheduler, workload
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=-1)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=1, jobs_per_tenant_hour=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=1, circuit_range=(0, 4))
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=1, circuit_range=(5, 4))
+
+
+class TestArrivalRate:
+    def test_scales_with_popularity_and_diurnal_curve(self):
+        workload = WorkloadGenerator(num_tenants=100)
+        quiet = QueueModel(popularity=0.1, diurnal_amplitude=0.0)
+        busy = QueueModel(popularity=0.9, diurnal_amplitude=0.0)
+        assert workload.arrival_rate(busy, 0.0) > workload.arrival_rate(quiet, 0.0)
+        swing = QueueModel(popularity=0.5, diurnal_amplitude=0.5)
+        rates = [workload.arrival_rate(swing, h * 3600.0) for h in range(24)]
+        assert max(rates) > min(rates)
+
+    def test_zero_tenants_means_zero_rate(self):
+        workload = WorkloadGenerator(num_tenants=0)
+        assert workload.arrival_rate(queue_model_for("Belem"), 0.0) == 0.0
+
+
+class TestInjection:
+    def test_traffic_reaches_the_queue(self):
+        scheduler, workload = scheduler_with_traffic(num_tenants=200)
+        scheduler.run_until_time(4 * 3600.0)
+        assert workload.jobs_injected > 0
+        queue = scheduler.queues["Belem"]
+        assert len(queue.completed) > 0
+        assert all(job.tenant.startswith("tenant") for job in queue.completed)
+
+    def test_zero_tenants_inject_nothing(self):
+        scheduler, workload = scheduler_with_traffic(num_tenants=0)
+        scheduler.run_until_time(4 * 3600.0)
+        assert workload.jobs_injected == 0
+        assert scheduler.queues["Belem"].completed == []
+
+    def test_deterministic_under_fixed_seed(self):
+        def trace(seed):
+            scheduler, _ = scheduler_with_traffic(num_tenants=150, seed=seed)
+            scheduler.run_until_time(2 * 3600.0)
+            return [
+                (job.tenant, job.arrival_time, job.start_time, job.finish_time)
+                for job in scheduler.queues["Belem"].completed
+            ]
+
+        first = trace(seed=9)
+        assert first == trace(seed=9)
+        assert first != trace(seed=10)
+
+    def test_per_device_streams_are_independent_of_fleet(self):
+        """Belem's traffic is identical whether or not Bogota is registered."""
+
+        def belem_arrivals(devices):
+            scheduler, _ = scheduler_with_traffic(num_tenants=100, devices=devices)
+            scheduler.run_until_time(2 * 3600.0)
+            return [job.arrival_time for job in scheduler.queues["Belem"].completed]
+
+        assert belem_arrivals(("Belem",)) == belem_arrivals(("Belem", "Bogota"))
+
+    def test_more_tenants_more_traffic(self):
+        light_sched, _ = scheduler_with_traffic(num_tenants=50)
+        heavy_sched, _ = scheduler_with_traffic(num_tenants=500)
+        light_sched.run_until_time(3 * 3600.0)
+        heavy_sched.run_until_time(3 * 3600.0)
+        light = len(light_sched.queues["Belem"].completed)
+        heavy = len(heavy_sched.queues["Belem"].completed)
+        assert heavy > light
+
+    def test_tenant_report_aggregates_latency(self):
+        scheduler, _ = scheduler_with_traffic(num_tenants=5)
+        scheduler.run_until_time(24 * 3600.0)
+        report = scheduler.tenant_report()
+        assert report
+        for stats in report.values():
+            assert stats["jobs_completed"] >= 1
+            assert stats["mean_wait_seconds"] >= 0.0
+            assert stats["mean_turnaround_seconds"] > 0.0
