@@ -1,33 +1,75 @@
-"""Engine benchmark — batched vs sequential statevector execution.
+"""Engine benchmark — compiled programs vs the v1 batch engine vs sequential.
 
-Measures the wall time of a 5-qubit, 8-parameter parameter-shift sweep
-(8 parameters x forward/backward = 16 structurally identical circuits)
-through the looped reference simulator and through the vectorized batch
-engine, and records the result in ``BENCH_engine.json`` at the repository
-root so the performance trajectory of the execution layer is tracked
-across PRs.  The batched engine must hold at least a 3x advantage.
+Two workloads, recorded in ``BENCH_engine.json`` at the repository root so
+the performance trajectory of the execution layer is tracked across PRs:
+
+* **micro** — the original 5-qubit, 8-parameter hardware-efficient sweep
+  (16 structurally identical circuits), timed through the looped reference
+  simulator, the v1 stacked-matmul batch engine, and the compiled engine.
+* **macro** — a depth-heavy 6-qubit, 4-layer QAOA parameter-shift sweep.
+  The v1 path pays per-point circuit binding plus per-gate stacked matmuls;
+  the compiled path lowers the ansatz once and executes the raw ``(2·P, P)``
+  shift matrix with fusion, diagonal phase fast paths, and ping-pong
+  buffers.
+
+Floors (enforced on every run, including ``--smoke`` in CI): the compiled
+engine must hold ≥3x over the v1 batch engine on the macro sweep and ≥3x
+over the sequential reference on the micro sweep, with ≤1e-10 probability
+parity everywhere.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.backends import BatchedStatevectorBackend, StatevectorBackend
-from repro.circuit import hardware_efficient_ansatz
-from repro.vqa.gradient import shifted_parameter_vectors
+from repro.backends.batched import (
+    batched_probabilities,
+    simulate_statevector_batch,
+    simulate_statevector_batch_v1,
+    sweep_probabilities,
+)
+from repro.circuit import hardware_efficient_ansatz, qaoa_maxcut_ansatz
+from repro.engine import shared_program_cache
+from repro.simulator.statevector import simulate_statevector
+from repro.vqa.gradient import shifted_parameter_vectors, shifted_theta_matrix
 
 NUM_QUBITS = 5
 NUM_PARAMETERS = 8
 REPEATS = 15
+SMOKE_REPEATS = 3
+MACRO_QUBITS = 6
+MACRO_LAYERS = 4
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
+#: Pinned CI floors — a compiled engine slower than this is a regression.
+MIN_COMPILED_OVER_V1 = 3.0
+MIN_COMPILED_OVER_SEQUENTIAL = 3.0
+MAX_PROBABILITY_DELTA = 1e-10
 
-def build_sweep_batch() -> list:
-    """The 16 bound circuits of an 8-parameter shift sweep."""
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sequential_probabilities(circuits) -> list[np.ndarray]:
+    return [
+        simulate_statevector(c).probabilities(list(range(c.num_qubits)))
+        for c in circuits
+    ]
+
+
+def build_micro_sweep() -> list:
+    """The 16 bound circuits of an 8-parameter shift sweep (PR-1 workload)."""
     template = hardware_efficient_ansatz(NUM_QUBITS)
     rng = np.random.default_rng(20260729)
     theta = rng.uniform(-np.pi, np.pi, len(template.ordered_parameters()))
@@ -39,41 +81,105 @@ def build_sweep_batch() -> list:
     return circuits
 
 
-def time_backend(backend, circuits, repeats: int = REPEATS) -> float:
-    """Best-of-N wall time of one full-batch probability computation."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        backend.probabilities(circuits)
-        best = min(best, time.perf_counter() - start)
-    return best
+def run_micro(repeats: int) -> dict:
+    circuits = build_micro_sweep()
+    n = circuits[0].num_qubits
 
+    def v1():
+        return batched_probabilities(
+            simulate_statevector_batch_v1(circuits), range(n), n
+        )
 
-def run_engine_benchmark() -> dict:
-    circuits = build_sweep_batch()
-    sequential = StatevectorBackend()
-    batched = BatchedStatevectorBackend()
+    def v2():
+        return batched_probabilities(simulate_statevector_batch(circuits), range(n), n)
 
-    # parity guard: a speedup over wrong answers is worthless
+    reference = _sequential_probabilities(circuits)
     max_delta = max(
-        float(np.max(np.abs(b - s)))
-        for b, s in zip(batched.probabilities(circuits), sequential.probabilities(circuits))
+        float(np.max(np.abs(np.asarray(v2()) - np.asarray(reference)))),
+        float(np.max(np.abs(v1() - np.asarray(reference)))),
     )
 
-    sequential_seconds = time_backend(sequential, circuits)
-    batched_seconds = time_backend(batched, circuits)
+    sequential_seconds = _best_of(lambda: _sequential_probabilities(circuits), repeats)
+    v1_seconds = _best_of(v1, repeats)
+    v2_seconds = _best_of(v2, repeats)
     return {
-        "benchmark": "engine_batch",
         "config": {
             "num_qubits": NUM_QUBITS,
             "num_parameters": NUM_PARAMETERS,
             "batch_size": len(circuits),
-            "repeats": REPEATS,
+            "repeats": repeats,
         },
         "sequential_seconds": sequential_seconds,
-        "batched_seconds": batched_seconds,
-        "speedup": sequential_seconds / batched_seconds,
+        "batched_v1_seconds": v1_seconds,
+        "compiled_seconds": v2_seconds,
+        "speedup_v1_vs_sequential": sequential_seconds / v1_seconds,
+        "speedup_compiled_vs_sequential": sequential_seconds / v2_seconds,
+        "speedup_compiled_vs_v1": v1_seconds / v2_seconds,
         "max_probability_delta": max_delta,
+    }
+
+
+def run_macro(repeats: int) -> dict:
+    """Depth-heavy QAOA parameter-shift macro-benchmark (end-to-end sweep)."""
+    edges = [
+        (i, j)
+        for i in range(MACRO_QUBITS)
+        for j in range(i + 1, MACRO_QUBITS)
+        if (i + j) % 2 == 1 or j == i + 1
+    ]
+    template = qaoa_maxcut_ansatz(MACRO_QUBITS, edges, num_layers=MACRO_LAYERS)
+    num_parameters = len(template.ordered_parameters())
+    rng = np.random.default_rng(42)
+    theta = shifted_theta_matrix(rng.uniform(-np.pi, np.pi, num_parameters))
+
+    def v1():
+        # What a PR-1 sweep paid: bind every point, then stacked matmuls.
+        bound = [template.assign_by_order(row) for row in theta]
+        return batched_probabilities(
+            simulate_statevector_batch_v1(bound), range(MACRO_QUBITS), MACRO_QUBITS
+        )
+
+    def v2():
+        # Zero-rebind compiled execution straight off the shift matrix.
+        return sweep_probabilities([template], theta)[0]
+
+    shared_program_cache().get_or_compile(template)  # compile outside timing
+    bound = [template.assign_by_order(row) for row in theta]
+    reference = np.asarray(_sequential_probabilities(bound))
+    max_delta = max(
+        float(np.max(np.abs(v2() - reference))),
+        float(np.max(np.abs(v1() - reference))),
+    )
+
+    sequential_seconds = _best_of(
+        lambda: _sequential_probabilities(bound), max(2, repeats // 3)
+    )
+    v1_seconds = _best_of(v1, repeats)
+    v2_seconds = _best_of(v2, repeats)
+    return {
+        "config": {
+            "num_qubits": MACRO_QUBITS,
+            "num_layers": MACRO_LAYERS,
+            "num_edges": len(edges),
+            "num_parameters": num_parameters,
+            "sweep_points": int(theta.shape[0]),
+            "gates": len(template),
+            "repeats": repeats,
+        },
+        "sequential_seconds": sequential_seconds,
+        "bind_plus_v1_seconds": v1_seconds,
+        "compiled_seconds": v2_seconds,
+        "speedup_compiled_vs_v1": v1_seconds / v2_seconds,
+        "speedup_compiled_vs_sequential": sequential_seconds / v2_seconds,
+        "max_probability_delta": max_delta,
+    }
+
+
+def run_engine_benchmark(repeats: int = REPEATS) -> dict:
+    return {
+        "benchmark": "engine_batch",
+        "micro_hea_sweep": run_micro(repeats),
+        "macro_qaoa_sweep": run_macro(repeats),
     }
 
 
@@ -84,27 +190,54 @@ def check_and_record(result: dict) -> None:
     parity break or a speedup regression no matter how it runs this file.
     """
     BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    assert result["max_probability_delta"] <= 1e-10, (
-        f"batched/sequential parity broken: {result['max_probability_delta']:.3e}"
+    micro = result["micro_hea_sweep"]
+    macro = result["macro_qaoa_sweep"]
+    for section in (micro, macro):
+        assert section["max_probability_delta"] <= MAX_PROBABILITY_DELTA, (
+            f"engine parity broken: {section['max_probability_delta']:.3e}"
+        )
+    assert micro["speedup_compiled_vs_sequential"] >= MIN_COMPILED_OVER_SEQUENTIAL, (
+        "compiled engine regressed below "
+        f"{MIN_COMPILED_OVER_SEQUENTIAL}x over sequential: "
+        f"{micro['speedup_compiled_vs_sequential']:.2f}x"
     )
-    assert result["speedup"] >= 3.0, (
-        f"batched engine regressed below 3x: {result['speedup']:.2f}x"
+    assert macro["speedup_compiled_vs_v1"] >= MIN_COMPILED_OVER_V1, (
+        f"compiled engine regressed below {MIN_COMPILED_OVER_V1}x over the "
+        f"v1 batch engine: {macro['speedup_compiled_vs_v1']:.2f}x"
+    )
+
+
+def _report(result: dict) -> None:
+    micro = result["micro_hea_sweep"]
+    macro = result["macro_qaoa_sweep"]
+    print("\n=== Engine micro: 16-circuit HEA sweep ===")
+    print(
+        f"sequential {micro['sequential_seconds'] * 1e3:.2f} ms | "
+        f"v1 {micro['batched_v1_seconds'] * 1e3:.2f} ms | "
+        f"compiled {micro['compiled_seconds'] * 1e3:.2f} ms | "
+        f"compiled/sequential {micro['speedup_compiled_vs_sequential']:.1f}x | "
+        f"max |dp| {micro['max_probability_delta']:.1e}"
+    )
+    print("=== Engine macro: depth-heavy QAOA parameter-shift sweep ===")
+    print(
+        f"sequential {macro['sequential_seconds'] * 1e3:.2f} ms | "
+        f"bind+v1 {macro['bind_plus_v1_seconds'] * 1e3:.2f} ms | "
+        f"compiled {macro['compiled_seconds'] * 1e3:.2f} ms | "
+        f"compiled/v1 {macro['speedup_compiled_vs_v1']:.1f}x | "
+        f"compiled/sequential {macro['speedup_compiled_vs_sequential']:.1f}x | "
+        f"max |dp| {macro['max_probability_delta']:.1e}"
     )
 
 
 def test_engine_batch_speedup():
     result = run_engine_benchmark()
-    print("\n=== Engine: batched vs sequential (16-circuit sweep) ===")
-    print(
-        f"sequential {result['sequential_seconds'] * 1e3:.2f} ms | "
-        f"batched {result['batched_seconds'] * 1e3:.2f} ms | "
-        f"speedup {result['speedup']:.1f}x | "
-        f"max |dp| {result['max_probability_delta']:.1e}"
-    )
+    _report(result)
     check_and_record(result)
 
 
 if __name__ == "__main__":
-    result = run_engine_benchmark()
-    print(json.dumps(result, indent=2))
-    check_and_record(result)
+    repeats = SMOKE_REPEATS if "--smoke" in sys.argv[1:] else REPEATS
+    bench_result = run_engine_benchmark(repeats)
+    _report(bench_result)
+    print(json.dumps(bench_result, indent=2))
+    check_and_record(bench_result)

@@ -58,6 +58,13 @@ from .devices import (
     build_fleet,
     build_qpu,
 )
+from .engine import (
+    GateProgram,
+    ProgramCache,
+    compile_circuit,
+    execute_program,
+    shared_program_cache,
+)
 from .hamiltonian import (
     EnergyEstimator,
     PauliString,
@@ -102,6 +109,12 @@ __all__ = [
     # simulators
     "simulate_statevector",
     "Counts",
+    # compiled execution engine
+    "GateProgram",
+    "compile_circuit",
+    "execute_program",
+    "ProgramCache",
+    "shared_program_cache",
     # execution backends
     "ExecutionBackend",
     "StatevectorBackend",

@@ -3,16 +3,20 @@
 This package defines the :class:`ExecutionBackend` protocol and its three
 engines:
 
-* :class:`StatevectorBackend` — ideal, sequential; the bit-exact reference.
+* :class:`StatevectorBackend` — ideal, sequential semantics (one circuit,
+  one sample draw at a time) executed through the compiled engine.
 * :class:`BatchedStatevectorBackend` — ideal, vectorized: a whole batch of
-  bindings of one circuit structure is simulated as a stacked
-  ``(batch, 2**n)`` NumPy pass (parameter-shift sweeps become one pass
-  instead of 2·P sequential simulations).
+  bindings of one circuit structure runs as one compiled-program pass over
+  a ``(batch, 2**n)`` state stack; template sweeps (:meth:`run_sweep`)
+  never bind a circuit at all.
 * :class:`NoisyBackend` — the analytic channel/mixing device path, adapted
-  to the protocol; one per cloud device endpoint.
+  to the protocol; one per cloud device endpoint (its ideal sub-path also
+  runs compiled programs).
 
-It also owns the shared structure-keyed :class:`TranspileCache` that the
-clients of an ensemble populate cooperatively.
+It also owns the shared structure-keyed caches: :class:`TranspileCache`
+(templates → routed circuits) and the re-exported
+:class:`~repro.engine.cache.ProgramCache` (structures → compiled gate
+programs).
 """
 
 from .base import ExecutionBackend, measured_register, normalize_batch
@@ -20,9 +24,17 @@ from .batched import (
     BatchedStatevectorBackend,
     batched_probabilities,
     simulate_statevector_batch,
+    simulate_statevector_batch_v1,
     structure_signature,
+    sweep_probabilities,
 )
-from .cache import CacheStats, TranspileCache, template_structure_key
+from .cache import (
+    CacheStats,
+    ProgramCache,
+    TranspileCache,
+    shared_program_cache,
+    template_structure_key,
+)
 from .noisy import NoisyBackend
 from .statevector import StatevectorBackend
 
@@ -33,9 +45,13 @@ __all__ = [
     "NoisyBackend",
     "TranspileCache",
     "CacheStats",
+    "ProgramCache",
+    "shared_program_cache",
     "normalize_batch",
     "measured_register",
     "simulate_statevector_batch",
+    "simulate_statevector_batch_v1",
+    "sweep_probabilities",
     "batched_probabilities",
     "structure_signature",
     "template_structure_key",

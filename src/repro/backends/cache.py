@@ -1,4 +1,4 @@
-"""The shared, structure-keyed transpile cache owned by the backend layer.
+"""The shared, structure-keyed caches owned by the backend layer.
 
 Every EQC client used to keep a private ``dict`` of transpiled templates.
 That worked, but it re-transpiled the same ansatz for every client whose
@@ -8,6 +8,13 @@ centralizes it: entries are keyed by the *structure* of the template circuit
 (gate sequence + symbolic parameter slots) and the target topology, so any
 two callers transpiling the same template for the same topology share one
 entry regardless of which naming scheme they use for their templates.
+
+The compiled execution engine follows the same pattern one layer down:
+:class:`~repro.engine.cache.ProgramCache` (re-exported here, with the
+process-wide instance behind :func:`shared_program_cache`) keys compiled
+:class:`~repro.engine.program.GateProgram` objects by
+``QuantumCircuit.structure_key``, so a parameter sweep compiles its ansatz
+exactly once no matter which backend, estimator, or noisy device runs it.
 """
 
 from __future__ import annotations
@@ -16,9 +23,16 @@ from dataclasses import dataclass
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.topology import Topology
+from ..engine.cache import ProgramCache, shared_program_cache
 from ..transpiler.transpile import TranspileResult, transpile
 
-__all__ = ["template_structure_key", "CacheStats", "TranspileCache"]
+__all__ = [
+    "template_structure_key",
+    "CacheStats",
+    "TranspileCache",
+    "ProgramCache",
+    "shared_program_cache",
+]
 
 
 def template_structure_key(circuit: QuantumCircuit):

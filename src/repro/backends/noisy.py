@@ -1,11 +1,15 @@
 """The noisy device backend: the channel/mixing execution path as a backend.
 
 :class:`NoisyBackend` adapts one :class:`~repro.devices.qpu.QPU` to the
-:class:`~repro.backends.base.ExecutionBackend` protocol.  It wraps the
-existing analytic mixing path unchanged — per-circuit noise is evaluated at
-that circuit's position on the device clock and samples are drawn from the
-device's RNG stream in batch order — so seeded results are bit-exact with the
-pre-backend execution code.  The cloud layer owns one per device endpoint.
+:class:`~repro.backends.base.ExecutionBackend` protocol.  It preserves the
+analytic mixing semantics — per-circuit noise is evaluated at that circuit's
+position on the device clock and samples are drawn from the device's RNG
+stream in batch order, so seeded results are bit-exact with the pre-backend
+execution code — while the ideal sub-path underneath
+(:func:`~repro.simulator.mixing.noisy_probabilities`) runs compiled gate
+programs from the shared structure-keyed cache, including the coherent
+over-rotation bias, which is applied by scaling rotation slots instead of
+rebuilding circuits.  The cloud layer owns one per device endpoint.
 """
 
 from __future__ import annotations

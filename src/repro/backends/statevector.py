@@ -1,10 +1,12 @@
-"""The sequential ideal backend: one looped statevector pass per circuit.
+"""The sequential ideal backend, now running compiled gate programs.
 
-This is the retained reference implementation of :class:`ExecutionBackend`
-semantics — it performs exactly the operations the library has always used
-(:func:`~repro.simulator.statevector.simulate_statevector` followed by
-multinomial sampling), circuit by circuit, so seeded results are bit-exact
-with the pre-backend code paths.  The batched engine is validated against it.
+This backend retains the *semantics* of the historical per-circuit path —
+circuits simulate and sample one at a time, in input order, off a single RNG
+stream — but each circuit executes through the compiled engine
+(:mod:`repro.engine`) as a batch of one, so repeated structures (every
+parameter-shift sweep) compile once and skip the per-gate Python overhead.
+The looped :func:`~repro.simulator.statevector.simulate_statevector` remains
+the bit-level reference implementation the engine is validated against.
 """
 
 from __future__ import annotations
@@ -14,10 +16,12 @@ from typing import Sequence
 import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
+from ..engine import execute_program, marginal_probabilities, slot_values_from_circuits
+from ..engine.cache import ProgramCache, shared_program_cache
 from ..simulator.result import ExecutionResult
 from ..simulator.sampler import sample_distribution
-from ..simulator.statevector import simulate_statevector
 from .base import ParameterBinding, measured_register, normalize_batch
+from .batched import sampled_sweep_results
 
 __all__ = ["StatevectorBackend"]
 
@@ -25,8 +29,22 @@ __all__ = ["StatevectorBackend"]
 class StatevectorBackend:
     """Ideal (noise-free) backend executing each circuit sequentially."""
 
-    def __init__(self, name: str = "statevector") -> None:
+    def __init__(
+        self,
+        name: str = "statevector",
+        program_cache: ProgramCache | None = None,
+    ) -> None:
         self.name = name
+        self.program_cache = (
+            program_cache if program_cache is not None else shared_program_cache()
+        )
+
+    def _circuit_probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        program = self.program_cache.get_or_compile(circuit)
+        thetas = slot_values_from_circuits(program, [circuit])
+        states = execute_program(program, thetas)
+        measured = measured_register(circuit)
+        return marginal_probabilities(states, measured, circuit.num_qubits)[0]
 
     def run(
         self,
@@ -54,18 +72,37 @@ class StatevectorBackend:
         results: list[ExecutionResult] = []
         for circuit in bound:
             measured = measured_register(circuit)
-            state = simulate_statevector(circuit)
-            probs = state.probabilities(list(measured))
+            probs = self._circuit_probabilities(circuit)
             counts = sample_distribution(probs, shots, rng, num_bits=len(measured))
             results.append(
                 ExecutionResult(counts=counts, shots=shots, backend_name=self.name)
             )
         return results
 
+    def run_sweep(
+        self,
+        templates: Sequence[QuantumCircuit],
+        theta_matrix: np.ndarray,
+        shots: int = 8192,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[ExecutionResult]:
+        """Execute a zero-rebind parameter sweep (see the batched backend).
+
+        Sampling stays strictly sequential in point-major order, so the RNG
+        stream is consumed exactly as if each bound circuit had been
+        submitted through :meth:`run` one by one.
+        """
+        return sampled_sweep_results(
+            self.name,
+            templates,
+            theta_matrix,
+            shots,
+            seed,
+            rng,
+            program_cache=self.program_cache,
+        )
+
     def probabilities(self, circuits: Sequence[QuantumCircuit]) -> list[np.ndarray]:
-        """Exact measured-register distributions, one looped pass per circuit."""
-        out = []
-        for circuit in circuits:
-            state = simulate_statevector(circuit)
-            out.append(state.probabilities(list(measured_register(circuit))))
-        return out
+        """Exact measured-register distributions, one circuit at a time."""
+        return [self._circuit_probabilities(circuit) for circuit in circuits]

@@ -40,6 +40,12 @@ class QuantumCircuit:
         self.num_qubits = int(num_qubits)
         self.name = name
         self._instructions: list[Instruction] = []
+        # Derived views are cached (and invalidated on mutation): hot paths —
+        # the batch engine, the program compiler, structure-keyed caches —
+        # read `instructions` and `structure_key` far more often than circuits
+        # are built.
+        self._instructions_cache: tuple[Instruction, ...] | None = None
+        self._structure_key_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -52,7 +58,12 @@ class QuantumCircuit:
                     f"qubit {q} out of range for a {self.num_qubits}-qubit circuit"
                 )
         self._instructions.append(instruction)
+        self._invalidate_caches()
         return self
+
+    def _invalidate_caches(self) -> None:
+        self._instructions_cache = None
+        self._structure_key_cache = None
 
     def add_gate(
         self,
@@ -107,6 +118,9 @@ class QuantumCircuit:
     def cz(self, a: int, b: int) -> "QuantumCircuit":
         return self.add_gate("cz", [a, b])
 
+    def cp(self, theta: ParameterValue, control: int, target: int) -> "QuantumCircuit":
+        return self.add_gate("cp", [control, target], [theta])
+
     def swap(self, a: int, b: int) -> "QuantumCircuit":
         return self.add_gate("swap", [a, b])
 
@@ -130,8 +144,26 @@ class QuantumCircuit:
     # ------------------------------------------------------------------
     @property
     def instructions(self) -> tuple[Instruction, ...]:
-        """The instruction sequence (read-only view)."""
-        return tuple(self._instructions)
+        """The instruction sequence (read-only view, cached until mutation)."""
+        if self._instructions_cache is None:
+            self._instructions_cache = tuple(self._instructions)
+        return self._instructions_cache
+
+    @property
+    def structure_key(self) -> tuple:
+        """A hashable key identifying the circuit's gate *structure*.
+
+        Two circuits share a key exactly when they apply the same gate names
+        to the same qubits in the same order (parameter values excluded) —
+        the condition for sharing one compiled gate program or one stacked
+        batch simulation.  Cached until the circuit is mutated.
+        """
+        if self._structure_key_cache is None:
+            self._structure_key_cache = (
+                self.num_qubits,
+                tuple((inst.name, inst.qubits) for inst in self._instructions),
+            )
+        return self._structure_key_cache
 
     def __len__(self) -> int:
         return len(self._instructions)
@@ -248,6 +280,7 @@ class QuantumCircuit:
         """
         bound = self.copy()
         bound._instructions = [inst.bind(values) for inst in self._instructions]
+        bound._invalidate_caches()
         return bound
 
     def assign_by_order(self, values: Sequence[float]) -> "QuantumCircuit":
@@ -277,6 +310,7 @@ class QuantumCircuit:
             raise ValueError("cannot compose a wider circuit onto a narrower one")
         combined = self.copy()
         combined._instructions.extend(other._instructions)
+        combined._invalidate_caches()
         return combined
 
     def remap_qubits(self, mapping: Mapping[int, int], num_qubits: int | None = None) -> "QuantumCircuit":
@@ -299,6 +333,7 @@ class QuantumCircuit:
         """Return a copy with measurement directives removed."""
         out = QuantumCircuit(self.num_qubits, self.name)
         out._instructions = [i for i in self._instructions if not i.is_measurement]
+        out._invalidate_caches()
         return out
 
     # ------------------------------------------------------------------

@@ -64,6 +64,7 @@ GATE_SPECS: dict[str, GateSpec] = {
     "rzz": GateSpec("rzz", 2, 1),
     "swap": GateSpec("swap", 2, 0),
     "cz": GateSpec("cz", 2, 0),
+    "cp": GateSpec("cp", 2, 1),
     "measure": GateSpec("measure", 1, 0, is_directive=True),
     "barrier": GateSpec("barrier", 0, 0, is_directive=True),
 }
@@ -218,6 +219,10 @@ def _rzz(theta: float) -> np.ndarray:
     return np.diag([phase, conj, conj, phase]).astype(complex)
 
 
+def _cp(theta: float) -> np.ndarray:
+    return np.diag([1.0, 1.0, 1.0, np.exp(1j * theta)]).astype(complex)
+
+
 @lru_cache(maxsize=4096)
 def _cached_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
     """Build (once) the read-only unitary for a (name, params) pair.
@@ -240,6 +245,8 @@ def _cached_gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
             matrix = _rz(theta)
         elif name == "rzz":
             matrix = _rzz(theta)
+        elif name == "cp":
+            matrix = _cp(theta)
         else:
             raise ValueError(f"no matrix rule for gate {name!r}")
     matrix.setflags(write=False)

@@ -29,10 +29,11 @@ import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import Instruction
+from ..engine import execute_program, marginal_probabilities, slot_values_from_circuits
+from ..engine.cache import shared_program_cache
 from .channels import readout_confusion_matrix
 from .result import Counts
 from .sampler import apply_readout_error, sample_distribution
-from .statevector import simulate_statevector
 
 __all__ = ["MixingNoiseSpec", "apply_coherent_bias", "execute_with_mixing", "noisy_probabilities"]
 
@@ -96,6 +97,27 @@ def apply_coherent_bias(circuit: QuantumCircuit, bias: float) -> QuantumCircuit:
     return biased
 
 
+def _ideal_probabilities(circuit: QuantumCircuit, bias: float) -> np.ndarray:
+    """Ideal measured-register distribution via the compiled engine.
+
+    The circuit's structure compiles once (shared, structure-keyed cache);
+    the coherent over-rotation bias is applied by scaling the rotation slots
+    of the extracted angle vector — the same ``theta * (1 + bias)`` floats
+    :func:`apply_coherent_bias` would have bound, with zero circuit
+    rebuilding.
+    """
+    program = shared_program_cache().get_or_compile(circuit)
+    thetas = slot_values_from_circuits(program, [circuit])
+    if bias != 0.0:
+        scale = np.array(
+            [1.0 + bias if g in _ROTATION_GATES else 1.0 for g in program.slot_gates]
+        )
+        thetas = thetas * scale
+    states = execute_program(program, thetas)
+    measured = circuit.measured_qubits or tuple(range(circuit.num_qubits))
+    return marginal_probabilities(states, measured, circuit.num_qubits)[0]
+
+
 def noisy_probabilities(
     circuit: QuantumCircuit,
     noise: MixingNoiseSpec,
@@ -103,10 +125,8 @@ def noisy_probabilities(
     """The analytic noisy outcome distribution over the measured qubits."""
     if not circuit.is_bound:
         raise ValueError("circuit has unbound parameters")
-    biased = apply_coherent_bias(circuit, noise.coherent_bias)
-    state = simulate_statevector(biased)
     measured = circuit.measured_qubits or tuple(range(circuit.num_qubits))
-    ideal = state.probabilities(list(measured))
+    ideal = _ideal_probabilities(circuit, noise.coherent_bias)
 
     uniform = np.full_like(ideal, 1.0 / ideal.size)
     mixed = noise.success_probability * ideal + (1.0 - noise.success_probability) * uniform

@@ -117,11 +117,9 @@ class Statevector:
         marg = tensor.sum(axis=trace_axes) if trace_axes else tensor
         # marg axes are the kept qubits in increasing index order; reorder to
         # follow the requested ordering.
-        order = np.argsort(np.argsort(qubits))
         current = sorted(qubits)
         perm = [current.index(q) for q in qubits]
         marg = np.transpose(marg, perm)
-        del order  # explicit: only perm is needed
         return marg.reshape(-1)
 
     def expectation_pauli(self, pauli_label: str) -> float:
@@ -142,8 +140,7 @@ class Statevector:
             "Z": gate_matrix("z"),
         }
         vec = self._vec
-        result = vec.copy()
-        tensor = result.reshape([2] * self.num_qubits)
+        tensor = vec.reshape([2] * self.num_qubits)
         for qubit, label in enumerate(pauli_label.upper()):
             if label == "I":
                 continue

@@ -1,9 +1,11 @@
 """Seeded-history regression tests pinning the refactored execution stack.
 
-The golden values below were captured from the pre-backend (seed) code; the
-pluggable-backend refactor must leave every seeded history bit-exact, because
-the retained sequential paths (StatevectorBackend, NoisyBackend) perform the
-same floating-point operations in the same order as the code they replaced.
+The golden values below were captured from the pre-backend (seed) code.
+Both the pluggable-backend refactor and the compiled-engine rewire must
+leave every seeded history bit-exact: the execution paths sample the same
+distributions in the same order from the same RNG streams, and the compiled
+probabilities agree with the historical ones far below the multinomial
+sampler's decision thresholds.
 """
 
 import numpy as np
