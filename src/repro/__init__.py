@@ -84,7 +84,13 @@ from .sched import (
     StatisticalQueuePolicy,
     WorkloadGenerator,
 )
-from .simulator import Counts, simulate_statevector
+from .simulator import (
+    Counts,
+    MixingNoiseSpec,
+    noisy_probabilities,
+    noisy_probabilities_batch,
+    simulate_statevector,
+)
 from .transpiler import transpile
 from .vqa import (
     QAOAProblem,
@@ -109,6 +115,9 @@ __all__ = [
     # simulators
     "simulate_statevector",
     "Counts",
+    "MixingNoiseSpec",
+    "noisy_probabilities",
+    "noisy_probabilities_batch",
     # compiled execution engine
     "GateProgram",
     "compile_circuit",

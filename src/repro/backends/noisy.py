@@ -5,11 +5,15 @@
 analytic mixing semantics — per-circuit noise is evaluated at that circuit's
 position on the device clock and samples are drawn from the device's RNG
 stream in batch order, so seeded results are bit-exact with the pre-backend
-execution code — while the ideal sub-path underneath
-(:func:`~repro.simulator.mixing.noisy_probabilities`) runs compiled gate
-programs from the shared structure-keyed cache, including the coherent
-over-rotation bias, which is applied by scaling rotation slots instead of
-rebuilding circuits.  The cloud layer owns one per device endpoint.
+execution code — while the whole batch underneath runs through the
+vectorized mixing pipeline
+(:func:`~repro.simulator.mixing.noisy_probabilities_batch`): one compiled
+program execution per structure group over the batch's angle matrix (with
+per-circuit coherent biases applied by scaling rotation slots), a broadcast
+depolarizing mix, and one batched readout-confusion pass.
+:meth:`NoisyBackend.run_sweep` is the sweep-aware entry: a parameter-shift
+batch executes straight off its ``(points, P)`` shift matrix without binding
+a single circuit.  The cloud layer owns one backend per device endpoint.
 """
 
 from __future__ import annotations
@@ -63,3 +67,33 @@ class NoisyBackend:
         if rng is None and seed is not None:
             rng = np.random.default_rng(seed)
         return self.qpu.execute_batch(bound, footprint, shots, now=now, rng=rng)
+
+    def run_sweep(
+        self,
+        templates: Sequence[QuantumCircuit],
+        theta_matrix: np.ndarray,
+        shots: int = 8192,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        *,
+        footprint: CircuitFootprint | None = None,
+        now: float = 0.0,
+    ) -> list[ExecutionResult]:
+        """Execute a zero-rebind parameter sweep under the device's noise.
+
+        The flat result order is point-major with templates inner, matching
+        :func:`repro.vqa.gradient.parameter_shift_batch`, and each flat
+        position occupies its own device job slot — results (counts, noise
+        metadata, durations) are identical to binding the circuits and
+        submitting them through :meth:`run`, but no circuit is ever built.
+        """
+        templates = list(templates)
+        if not templates:
+            raise ValueError("a sweep needs at least one template")
+        if footprint is None:
+            footprint = CircuitFootprint.from_circuit(templates[0])
+        if rng is None and seed is not None:
+            rng = np.random.default_rng(seed)
+        return self.qpu.execute_sweep(
+            templates, theta_matrix, footprint, shots, now=now, rng=rng
+        )

@@ -46,6 +46,8 @@ class QuantumCircuit:
         # are built.
         self._instructions_cache: tuple[Instruction, ...] | None = None
         self._structure_key_cache: tuple | None = None
+        self._parameters_cache: frozenset | None = None
+        self._measured_qubits_cache: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -64,6 +66,8 @@ class QuantumCircuit:
     def _invalidate_caches(self) -> None:
         self._instructions_cache = None
         self._structure_key_cache = None
+        self._parameters_cache = None
+        self._measured_qubits_cache = None
 
     def add_gate(
         self,
@@ -173,11 +177,13 @@ class QuantumCircuit:
 
     @property
     def parameters(self) -> frozenset[Parameter]:
-        """All free parameters appearing in the circuit."""
-        found: set[Parameter] = set()
-        for inst in self._instructions:
-            found |= inst.free_parameters
-        return frozenset(found)
+        """All free parameters appearing in the circuit (cached view)."""
+        if self._parameters_cache is None:
+            found: set[Parameter] = set()
+            for inst in self._instructions:
+                found |= inst.free_parameters
+            self._parameters_cache = frozenset(found)
+        return self._parameters_cache
 
     @property
     def is_bound(self) -> bool:
@@ -191,12 +197,14 @@ class QuantumCircuit:
 
     @property
     def measured_qubits(self) -> tuple[int, ...]:
-        """Qubit indices that carry a measurement, in insertion order."""
-        seen: list[int] = []
-        for inst in self._instructions:
-            if inst.is_measurement and inst.qubits[0] not in seen:
-                seen.append(inst.qubits[0])
-        return tuple(seen)
+        """Qubit indices that carry a measurement, in insertion order (cached)."""
+        if self._measured_qubits_cache is None:
+            seen: list[int] = []
+            for inst in self._instructions:
+                if inst.is_measurement and inst.qubits[0] not in seen:
+                    seen.append(inst.qubits[0])
+            self._measured_qubits_cache = tuple(seen)
+        return self._measured_qubits_cache
 
     def count_ops(self) -> Counter:
         """Histogram of gate names."""

@@ -214,9 +214,15 @@ class CloudProvider:
 
         The whole job is one backend batch; the backend owns the in-batch
         device clock and the physics, the provider owns queueing and
-        per-batch utilization accounting.  Both queueing regimes (the
-        statistical fallback and the scheduler's service-start event) share
-        this path, so the physics can never diverge between them.
+        per-batch utilization accounting.  On a noisy endpoint the batch
+        flows through :meth:`QPU.execute_batch` — the vectorized mixing
+        pipeline: per-circuit clock offsets and noise specs are computed up
+        front, the whole job simulates as one ``(batch, 2**n)`` matrix, and
+        shots are drawn from the endpoint's RNG stream in batch order, so
+        seeded histories are bit-exact with sequential execution.  Both
+        queueing regimes (the statistical fallback and the scheduler's
+        service-start event) share this path, so the physics can never
+        diverge between them.
         """
         results = endpoint.backend.run(
             list(circuits),

@@ -31,8 +31,15 @@ from ..circuit.circuit import QuantumCircuit
 from ..noise.calibration import CalibrationSnapshot
 from ..noise.drift import DriftModel, DriftProfile
 from ..noise.generator import CalibrationGenerator, NoiseProfile
-from ..simulator.mixing import MixingNoiseSpec, execute_with_mixing, noisy_probabilities
+from ..simulator.mixing import (
+    MixingNoiseSpec,
+    execute_with_mixing,
+    noisy_probabilities,
+    noisy_probabilities_batch,
+    noisy_sweep_probabilities,
+)
 from ..simulator.result import Counts, ExecutionResult
+from ..simulator.sampler import sample_distribution_batch
 from .topology import Topology
 
 __all__ = [
@@ -146,6 +153,13 @@ class QPU:
         self._generator = CalibrationGenerator(spec.noise_profile, spec.seed)
         self._drift = DriftModel(spec.drift_profile, spec.seed)
         self._rng = np.random.default_rng((spec.seed, 0xD1CE))
+        #: Reported snapshots are a pure function of the calibration cycle;
+        #: regenerating one costs ~150us of lognormal draws, so the batched
+        #: execution path memoizes them per cycle (values are identical).
+        self._reported_cache: dict[int, CalibrationSnapshot] = {}
+        #: Raw per-cycle calibration value lists consumed by the fast
+        #: execution-noise path (see :meth:`execution_noise`).
+        self._cycle_stats: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # identity / convenience
@@ -188,14 +202,18 @@ class QPU:
         calibration events no matter how far the hardware drifts.
         """
         cycle = self.calibration_cycle(now)
-        period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
-        return self._generator.generate(
-            device_name=self.name,
-            num_qubits=self.num_qubits,
-            couplings=self.topology.directed_couplings,
-            timestamp=cycle * period,
-            cycle=cycle,
-        )
+        snapshot = self._reported_cache.get(cycle)
+        if snapshot is None:
+            period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
+            snapshot = self._generator.generate(
+                device_name=self.name,
+                num_qubits=self.num_qubits,
+                couplings=self.topology.directed_couplings,
+                timestamp=cycle * period,
+                cycle=cycle,
+            )
+            self._reported_cache[cycle] = snapshot
+        return snapshot
 
     def effective_calibration(self, now: float) -> CalibrationSnapshot:
         """The device's *actual* noise at time ``now`` (reported + drift)."""
@@ -267,18 +285,73 @@ class QPU:
         *differently* from its calibrated self, which is what makes learned
         parameters device-biased and what produces Casablanca-style
         post-convergence divergence in the Fig. 6 reproduction.
+
+        This is the hot call of a device batch (one spec per circuit on the
+        clock), so it scales the raw per-cycle calibration values directly —
+        element for element the arithmetic of
+        :meth:`CalibrationSnapshot.scale_errors` followed by the snapshot's
+        ``average_*`` sums, without constructing the intermediate snapshot —
+        and feeds the scalar averages straight into the Eq. 2 core.  The
+        resulting spec is bit-identical to the snapshot-based construction
+        (pinned by the test suite against :meth:`true_success_probability`).
         """
-        calibration = self.effective_calibration(now)
-        success = self.true_success_probability(footprint, now)
-        per_qubit = tuple(
-            (q.readout_p01, q.readout_p10)
-            for q in calibration.qubits[: max(1, footprint.num_measurements)]
+        factor = self.drift_factor(now)
+        t1s, t2s, p01s, p10s, sq_errors, cx_errors, mu_g1, mu_g2 = self._stats_for(
+            self.calibration_cycle(now)
         )
+        n = len(t1s)
+        t1_avg = sum(t1 / factor for t1 in t1s) / n
+        t2_avg = sum(min(t2 / factor, 2 * t1 / factor) for t1, t2 in zip(t1s, t2s)) / n
+        scaled_p01 = [min(1.0, max(0.0, p * factor)) for p in p01s]
+        scaled_p10 = [min(1.0, max(0.0, p * factor)) for p in p10s]
+        omega = sum(
+            0.5 * (p01 + p10) for p01, p10 in zip(scaled_p01, scaled_p10)
+        ) / n
+        gamma = sum(min(1.0, max(0.0, e * factor)) for e in sq_errors) / n
+        beta = (
+            sum(min(1.0, max(0.0, e * factor)) for e in cx_errors) / len(cx_errors)
+            if cx_errors
+            else 0.0
+        )
+        success = _success_from_averages(
+            footprint,
+            mu_g1=mu_g1,
+            mu_g2=mu_g2 or mu_g1,
+            t1=t1_avg,
+            t2=t2_avg,
+            gamma=gamma,
+            beta=beta,
+            omega=omega,
+            crosstalk=self.spec.noise_profile.crosstalk,
+            connectivity=self.topology.average_degree,
+        )
+        per_qubit = tuple(
+            zip(scaled_p01, scaled_p10)
+        )[: max(1, footprint.num_measurements)]
         return MixingNoiseSpec(
             success_probability=success,
             per_qubit_readout=per_qubit,
-            coherent_bias=self.spec.noise_profile.coherent_bias * self.drift_factor(now),
+            coherent_bias=self.spec.noise_profile.coherent_bias * factor,
         )
+
+    def _stats_for(self, cycle: int) -> tuple:
+        """Raw calibration value lists of one cycle, extracted once."""
+        stats = self._cycle_stats.get(cycle)
+        if stats is None:
+            period = self.spec.calibration_period_hours * SECONDS_PER_HOUR
+            snapshot = self.reported_calibration(cycle * period)
+            stats = (
+                [q.t1 for q in snapshot.qubits],
+                [q.t2 for q in snapshot.qubits],
+                [q.readout_p01 for q in snapshot.qubits],
+                [q.readout_p10 for q in snapshot.qubits],
+                [g.error for g in snapshot.single_qubit_gates],
+                [g.error for g in snapshot.two_qubit_gates.values()],
+                snapshot.average_single_qubit_gate_time,
+                snapshot.average_cx_gate_time,
+            )
+            self._cycle_stats[cycle] = stats
+        return stats
 
     def execute(
         self,
@@ -315,6 +388,49 @@ class QPU:
             },
         )
 
+    def noise_timeline(
+        self, num_circuits: int, footprint: CircuitFootprint, now: float
+    ) -> tuple[list[float], list[float], list[MixingNoiseSpec]]:
+        """Per-circuit (start time, duration, noise spec) for one batch.
+
+        The device clock advances *within* a batch: circuit ``i`` starts at
+        ``now`` plus half the accumulated job durations of its predecessors
+        (one device job slot covers a forward/backward pair), and its noise
+        spec is evaluated at that start time.  Pure clock/calibration
+        arithmetic — no simulation, no RNG consumption — so the whole
+        timeline can be computed up front and handed to the batched pipeline.
+        """
+        starts, durations, specs, _ = self._timeline_with_metadata(
+            num_circuits, footprint, now
+        )
+        return starts, durations, specs
+
+    def _timeline_with_metadata(
+        self, num_circuits: int, footprint: CircuitFootprint, now: float
+    ) -> tuple[list[float], list[float], list[MixingNoiseSpec], list[dict]]:
+        """:meth:`noise_timeline` plus the per-result metadata dicts."""
+        starts: list[float] = []
+        durations: list[float] = []
+        specs: list[MixingNoiseSpec] = []
+        metadata: list[dict] = []
+        elapsed = 0.0
+        for _ in range(num_circuits):
+            start = now + elapsed
+            duration = self.job_duration_seconds(start)
+            spec = self.execution_noise(footprint, start)
+            starts.append(start)
+            durations.append(duration)
+            specs.append(spec)
+            metadata.append(
+                {
+                    "success_probability": spec.success_probability,
+                    "calibration_age_hours": self.hours_since_calibration(start),
+                    "drift_factor": self.drift_factor(start),
+                }
+            )
+            elapsed += job_slot_circuit_seconds(duration)
+        return starts, durations, specs, metadata
+
     def execute_batch(
         self,
         circuits: Sequence[QuantumCircuit],
@@ -326,22 +442,112 @@ class QPU:
         """Run a batch of bound circuits back to back on this device.
 
         This is the device-side batch entry point the cloud layer submits
-        multi-circuit jobs through.  The device clock advances *within* the
-        batch: circuit ``i`` executes at ``now`` plus half the accumulated job
-        durations of its predecessors (one device job slot covers a
-        forward/backward pair), so noise, drift, and the RNG stream evolve
+        multi-circuit jobs through.  The per-circuit clock offsets and noise
+        specs are computed up front (:meth:`noise_timeline`), the whole batch
+        flows through the vectorized mixing pipeline
+        (:func:`~repro.simulator.mixing.noisy_probabilities_batch`) as one
+        ``(batch, 2**n)`` matrix, and shots are sampled from the device RNG
+        stream in batch order — so noise, drift, and the RNG stream evolve
         exactly as they would for the equivalent sequence of single
-        executions — batching changes scheduling, never physics.
+        executions (:meth:`execute`, the sequential reference).  Batching
+        changes the wall-clock cost, never the physics.
         """
         if not circuits:
             raise ValueError("a batch needs at least one circuit")
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
         rng = rng if rng is not None else self._rng
+        _, durations, specs, metadata = self._timeline_with_metadata(
+            len(circuits), footprint, now
+        )
+        probabilities = noisy_probabilities_batch(circuits, specs)
+        return self._sampled_results(
+            circuits, probabilities, durations, metadata, shots, rng
+        )
+
+    def execute_sweep(
+        self,
+        templates: Sequence[QuantumCircuit],
+        theta_matrix: np.ndarray,
+        footprint: CircuitFootprint,
+        shots: int,
+        now: float,
+        rng: np.random.Generator | None = None,
+    ) -> list[ExecutionResult]:
+        """Run a zero-rebind parameter sweep with this device's noise.
+
+        The sweep's flat execution order is point-major with templates inner
+        (the :func:`repro.vqa.gradient.parameter_shift_batch` order); each
+        flat position occupies its own device job slot, exactly as if the
+        bound circuits had been submitted through :meth:`execute_batch` — but
+        no circuit is ever bound.
+        """
+        templates = list(templates)
+        theta = np.atleast_2d(np.asarray(theta_matrix, dtype=float))
+        if not templates:
+            raise ValueError("a sweep needs at least one template")
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        rng = rng if rng is not None else self._rng
+        flat = theta.shape[0] * len(templates)
+        _, durations, specs, metadata = self._timeline_with_metadata(
+            flat, footprint, now
+        )
+        probabilities = noisy_sweep_probabilities(templates, theta, specs)
+        flat_templates = [
+            templates[i % len(templates)] for i in range(flat)
+        ]
+        return self._sampled_results(
+            flat_templates, probabilities, durations, metadata, shots, rng
+        )
+
+    def _sampled_results(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        probabilities: Sequence[np.ndarray],
+        durations: Sequence[float],
+        metadata: Sequence[dict],
+        shots: int,
+        rng: np.random.Generator,
+    ) -> list[ExecutionResult]:
+        """Sample a batch's distributions in batch order from one RNG stream.
+
+        Consecutive circuits with equal measured-register widths draw their
+        shots through one batched multinomial call; NumPy consumes the bit
+        stream row by row, so draws and the final generator state are
+        identical to per-circuit :func:`sample_distribution` calls.
+        """
+        widths = [
+            len(c.measured_qubits or tuple(range(c.num_qubits))) for c in circuits
+        ]
+        counts_list: list[Counts] = []
+        index = 0
+        total = len(circuits)
+        while index < total:
+            end = index + 1
+            while end < total and widths[end] == widths[index]:
+                end += 1
+            counts_list.extend(
+                sample_distribution_batch(
+                    np.stack(probabilities[index:end]),
+                    shots,
+                    rng,
+                    num_bits=widths[index],
+                )
+            )
+            index = end
+
         results: list[ExecutionResult] = []
-        elapsed = 0.0
-        for circuit in circuits:
-            result = self.execute(circuit, footprint, shots, now=now + elapsed, rng=rng)
-            results.append(result)
-            elapsed += job_slot_circuit_seconds(result.duration_seconds)
+        for counts, duration, meta in zip(counts_list, durations, metadata):
+            results.append(
+                ExecutionResult(
+                    counts=counts,
+                    shots=shots,
+                    backend_name=self.name,
+                    duration_seconds=duration,
+                    metadata=meta,
+                )
+            )
         return results
 
     def noisy_distribution(
@@ -372,15 +578,38 @@ def success_probability(
     only by the device truth model (``crosstalk=0`` reproduces Eq. 2 exactly,
     which is what the estimator uses).
     """
+    return _success_from_averages(
+        footprint,
+        mu_g1=calibration.average_single_qubit_gate_time,
+        mu_g2=calibration.average_cx_gate_time or calibration.average_single_qubit_gate_time,
+        t1=calibration.average_t1,
+        t2=calibration.average_t2,
+        gamma=calibration.average_single_qubit_error,
+        beta=calibration.average_cx_error,
+        omega=calibration.average_readout_error,
+        crosstalk=crosstalk,
+        connectivity=connectivity,
+    )
+
+
+def _success_from_averages(
+    footprint: CircuitFootprint,
+    *,
+    mu_g1: float,
+    mu_g2: float,
+    t1: float,
+    t2: float,
+    gamma: float,
+    beta: float,
+    omega: float,
+    crosstalk: float,
+    connectivity: float,
+) -> float:
+    """The Eq. 2 core on scalar calibration averages (see the wrapper above)."""
     g1 = footprint.num_single_qubit_gates
     g2 = footprint.num_two_qubit_gates
     cd = footprint.critical_depth
     m = footprint.num_measurements
-
-    mu_g1 = calibration.average_single_qubit_gate_time
-    mu_g2 = calibration.average_cx_gate_time or calibration.average_single_qubit_gate_time
-    t1 = calibration.average_t1
-    t2 = calibration.average_t2
 
     # Decoherence along the critical path: each entangling layer exposes the
     # register for roughly the average gate duration; the decay constant is
@@ -389,10 +618,6 @@ def success_probability(
     exposure = cd * 0.5 * (mu_g1 + mu_g2)
     decay_constant = math.sqrt(t1 * t2)
     coherence_term = math.exp(-exposure / decay_constant) if decay_constant > 0 else 0.0
-
-    gamma = calibration.average_single_qubit_error
-    beta = calibration.average_cx_error
-    omega = calibration.average_readout_error
 
     gate_term = ((1.0 - gamma) ** g1) * ((1.0 - beta) ** g2)
     spam_term = (1.0 - omega) ** m

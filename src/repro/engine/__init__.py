@@ -51,7 +51,12 @@ the test suite; seeded sampling histories stay bit-exact).
 
 from .cache import ProgramCache, shared_program_cache
 from .compiler import DIAGONAL_GATES, compile_circuit
-from .executor import batched_gate_matrices, execute_program, marginal_probabilities
+from .executor import (
+    batched_gate_matrices,
+    execute_program,
+    marginal_distribution,
+    marginal_probabilities,
+)
 from .program import (
     DiagonalOp,
     GateProgram,
@@ -76,6 +81,7 @@ __all__ = [
     "slot_values_from_circuits",
     "execute_program",
     "batched_gate_matrices",
+    "marginal_distribution",
     "marginal_probabilities",
     "ProgramCache",
     "shared_program_cache",

@@ -27,6 +27,7 @@ from .program import DiagonalOp, GateProgram, MatrixOp, RunElement
 __all__ = [
     "batched_gate_matrices",
     "execute_program",
+    "marginal_distribution",
     "marginal_probabilities",
 ]
 
@@ -179,11 +180,25 @@ def marginal_probabilities(
     Returns a ``(batch, 2**len(qubits))`` array matching
     :meth:`Statevector.probabilities` row by row.
     """
-    full = np.abs(states) ** 2
+    return marginal_distribution(np.abs(states) ** 2, qubits, num_qubits)
+
+
+def marginal_distribution(
+    probabilities: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Marginalize a ``(batch, 2**n)`` probability stack onto ``qubits``.
+
+    The single home of the trace-axes + measured-order permutation logic;
+    :func:`marginal_probabilities` (amplitude stacks) and the density-matrix
+    validator (diagonal probability vectors) both route through it.
+    """
+    full = np.asarray(probabilities, dtype=float)
     qubits = list(qubits)
     if tuple(qubits) == tuple(range(num_qubits)):
         return full
-    batch = states.shape[0]
+    batch = full.shape[0]
     tensor = full.reshape([batch] + [2] * num_qubits)
     keep = set(qubits)
     trace_axes = tuple(ax + 1 for ax in range(num_qubits) if ax not in keep)

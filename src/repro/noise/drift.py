@@ -74,6 +74,11 @@ class DriftModel:
     def __init__(self, profile: DriftProfile, device_seed: int) -> None:
         self.profile = profile
         self.device_seed = int(device_seed)
+        #: Per-cycle randomness (phase, burst roll, burst start) — drawn once
+        #: per calibration cycle instead of reconstructing a Generator on
+        #: every drift_factor call.  The draws and their order are identical
+        #: to the uncached code, so factors are bit-exact.
+        self._cycle_params: dict[int, tuple[float, float, float | None]] = {}
 
     # ------------------------------------------------------------------
     def drift_factor(self, hours_since_calibration: float, cycle: int = 0) -> float:
@@ -91,20 +96,34 @@ class DriftModel:
         """
         hours = max(0.0, float(hours_since_calibration))
         p = self.profile
-        rng = self._cycle_rng(cycle)
-        phase = rng.uniform(0.0, 2.0 * math.pi)
+        phase, _roll, burst_start = self._params_for(cycle)
         linear = p.drift_rate * hours
         oscillation = p.oscillation_amplitude * (
             1.0 + math.sin(2.0 * math.pi * hours / p.oscillation_period_hours + phase)
         ) / 2.0
         factor = 1.0 + linear + oscillation
 
-        burst_roll = rng.uniform(0.0, 1.0)
-        if burst_roll < p.burst_probability:
-            burst_start = rng.uniform(1.0, 20.0)
+        if burst_start is not None:
             if burst_start <= hours <= burst_start + p.burst_duration_hours:
                 factor *= p.burst_magnitude
         return factor
+
+    def _params_for(self, cycle: int) -> tuple[float, float, float | None]:
+        """The cycle's (phase, burst roll, burst start) draws, memoized."""
+        cycle = int(cycle)
+        params = self._cycle_params.get(cycle)
+        if params is None:
+            rng = self._cycle_rng(cycle)
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            burst_roll = rng.uniform(0.0, 1.0)
+            burst_start = (
+                rng.uniform(1.0, 20.0)
+                if burst_roll < self.profile.burst_probability
+                else None
+            )
+            params = (phase, burst_roll, burst_start)
+            self._cycle_params[cycle] = params
+        return params
 
     def speed_factor(self, hours_since_calibration: float, cycle: int = 0) -> float:
         """Throughput multiplier (<= 1) at a given calibration age.

@@ -10,17 +10,30 @@ from .channels import (
     thermal_relaxation_channel,
     two_qubit_depolarizing_channel,
 )
-from .mixing import MixingNoiseSpec, apply_coherent_bias, execute_with_mixing, noisy_probabilities
+from .mixing import (
+    MixingNoiseSpec,
+    apply_coherent_bias,
+    execute_with_mixing,
+    noisy_probabilities,
+    noisy_probabilities_batch,
+    noisy_sweep_probabilities,
+)
 from .result import Counts, ExecutionResult
 from .sampler import (
     apply_readout_error,
+    apply_readout_error_batch,
     distribution_to_counts,
     sample_circuit_ideal,
     sample_distribution,
+    sample_distribution_batch,
     sample_statevector,
 )
 from .statevector import Statevector, simulate_statevector
-from .trajectory import MonteCarloSimulator, TrajectoryNoiseSpec
+from .trajectory import (
+    MonteCarloSimulator,
+    TrajectoryNoiseSpec,
+    density_matrix_probabilities,
+)
 
 __all__ = [
     "Statevector",
@@ -36,14 +49,19 @@ __all__ = [
     "thermal_relaxation_channel",
     "readout_confusion_matrix",
     "sample_distribution",
+    "sample_distribution_batch",
     "sample_statevector",
     "sample_circuit_ideal",
     "apply_readout_error",
+    "apply_readout_error_batch",
     "distribution_to_counts",
     "MixingNoiseSpec",
     "apply_coherent_bias",
     "execute_with_mixing",
     "noisy_probabilities",
+    "noisy_probabilities_batch",
+    "noisy_sweep_probabilities",
     "MonteCarloSimulator",
     "TrajectoryNoiseSpec",
+    "density_matrix_probabilities",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -178,10 +179,20 @@ def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:
     the probability of reading 0 when the state was 1.  The returned 2x2
     matrix ``C`` maps true probabilities to observed probabilities via
     ``observed = C @ true`` with rows indexed by the observed bit.
+
+    Matrices are memoized per ``(p01, p10)`` — the trajectory simulator asks
+    for the same pair once per measured qubit per run, and the mixing path
+    once per circuit — and returned as **shared read-only** arrays; copy
+    before mutating.
     """
-    p01 = _check_probability(p01)
-    p10 = _check_probability(p10)
-    return np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=float)
+    return _cached_confusion_matrix(_check_probability(p01), _check_probability(p10))
+
+
+@lru_cache(maxsize=4096)
+def _cached_confusion_matrix(p01: float, p10: float) -> np.ndarray:
+    matrix = np.array([[1 - p01, p10], [p01, 1 - p10]], dtype=float)
+    matrix.flags.writeable = False
+    return matrix
 
 
 def _check_probability(p: float) -> float:

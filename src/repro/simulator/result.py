@@ -32,6 +32,20 @@ class Counts(Mapping[str, int]):
         if self._shots < sum(clean.values()):
             raise ValueError("shots is smaller than the sum of counts")
 
+    @classmethod
+    def _from_clean(cls, data: dict[str, int], shots: int) -> "Counts":
+        """Trusted constructor for internal samplers.
+
+        Skips the per-entry validation of ``__init__`` — callers guarantee
+        string keys of one width and positive integer values (the multinomial
+        samplers build exactly that), which keeps the per-circuit sampling
+        hot path free of redundant re-validation.
+        """
+        counts = cls.__new__(cls)
+        counts._data = data
+        counts._shots = shots
+        return counts
+
     # Mapping protocol -----------------------------------------------------
     def __getitem__(self, key: str) -> int:
         return self._data[key]

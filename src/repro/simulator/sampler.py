@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -12,11 +13,36 @@ from .statevector import Statevector, simulate_statevector
 
 __all__ = [
     "sample_distribution",
+    "sample_distribution_batch",
     "sample_statevector",
     "sample_circuit_ideal",
     "apply_readout_error",
+    "apply_readout_error_batch",
     "distribution_to_counts",
 ]
+
+#: Widths for which the full bitstring-label table is precomputed; wider
+#: registers format labels on demand (the table would hold 2**n strings).
+_MAX_CACHED_LABEL_BITS = 12
+
+
+@lru_cache(maxsize=_MAX_CACHED_LABEL_BITS + 1)
+def _bitstring_labels(num_bits: int) -> tuple[str, ...]:
+    """All ``2**num_bits`` outcome labels, built once per register width."""
+    return tuple(format(index, f"0{num_bits}b") for index in range(1 << num_bits))
+
+
+def _counts_from_draws(draws: np.ndarray, num_bits: int, shots: int) -> Counts:
+    """Sparse Counts from a multinomial draw vector (only hit outcomes)."""
+    (hits,) = np.nonzero(draws)
+    if num_bits <= _MAX_CACHED_LABEL_BITS:
+        labels = _bitstring_labels(num_bits)
+        data = {labels[index]: int(draws[index]) for index in hits}
+    else:
+        data = {
+            format(index, f"0{num_bits}b"): int(draws[index]) for index in hits
+        }
+    return Counts._from_clean(data, shots)
 
 
 def sample_distribution(
@@ -57,12 +83,53 @@ def sample_distribution(
     if shots == 0:
         return Counts({}, shots=0)
     draws = rng.multinomial(shots, probs)
-    data = {
-        format(index, f"0{num_bits}b"): int(count)
-        for index, count in enumerate(draws)
-        if count
-    }
-    return Counts(data, shots=shots)
+    # Shots are sparse over the 2**n outcomes for n >= 10: only walk the hit
+    # indices instead of enumerating the whole vector.
+    return _counts_from_draws(draws, num_bits, shots)
+
+
+def sample_distribution_batch(
+    probabilities: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    num_bits: int,
+) -> list[Counts]:
+    """Draw shots for a whole stack of distributions in one multinomial call.
+
+    NumPy's ``Generator.multinomial`` consumes the bit stream row by row in
+    order, so the draws — and the generator's final state — are **identical**
+    to calling :func:`sample_distribution` once per row with the same RNG
+    (the equivalence is pinned by the test suite).  The per-row validation
+    and renormalization are replicated exactly; only the Python call
+    overhead is batched away.
+
+    Args:
+        probabilities: ``(batch, 2**num_bits)`` stack of distributions.
+        shots: shots per row (every row draws the same number).
+        rng: the shared RNG stream, consumed in row order.
+        num_bits: width of the output bitstrings.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 2:
+        raise ValueError("probabilities must be a (batch, 2**n) matrix")
+    if np.any(probs < -1e-9):
+        raise ValueError("probabilities must be non-negative")
+    probs = np.clip(probs, 0.0, None)
+    totals = probs.sum(axis=1)
+    if np.any(totals <= 0):
+        raise ValueError("probability vector sums to zero")
+    probs = probs / totals[:, None]
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if probs.shape[1] != (1 << num_bits):
+        raise ValueError(
+            f"probability vectors of length {probs.shape[1]} do not match "
+            f"{num_bits} bits"
+        )
+    if shots == 0:
+        return [Counts({}, shots=0) for _ in range(probs.shape[0])]
+    draws = rng.multinomial(shots, probs)
+    return [_counts_from_draws(row, num_bits, shots) for row in draws]
 
 
 def sample_statevector(
@@ -120,6 +187,57 @@ def apply_readout_error(
     out = tensor.reshape(-1)
     total = out.sum()
     return out / total if total > 0 else out
+
+
+def apply_readout_error_batch(
+    probabilities: np.ndarray,
+    confusion_stacks: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Push a stack of probability vectors through per-circuit confusion matrices.
+
+    The batched counterpart of :func:`apply_readout_error`: row ``b`` of the
+    result equals ``apply_readout_error(probabilities[b], [stack[b] for stack
+    in confusion_stacks])`` — the per-bit contraction performs the identical
+    2-term sums, so the two agree bitwise.
+
+    Args:
+        probabilities: ``(batch, 2**n)`` array of true-outcome distributions.
+        confusion_stacks: one ``(batch, 2, 2)`` array per measured bit
+            (bit 0 first / most significant), holding each circuit's own
+            column-stochastic confusion matrix.  A plain ``(2, 2)`` matrix is
+            broadcast over the batch.
+
+    Returns:
+        The ``(batch, 2**n)`` observed-outcome distributions, row-normalized.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 2:
+        raise ValueError("probabilities must be a (batch, 2**n) matrix")
+    batch = probs.shape[0]
+    n = len(confusion_stacks)
+    if probs.shape[1] != (1 << n):
+        raise ValueError("probability width does not match confusion matrices")
+    if n == 0:
+        return probs.copy()
+    tensor = probs.reshape([batch] + [2] * n)
+    for bit, stack in enumerate(confusion_stacks):
+        stack = np.asarray(stack, dtype=float)
+        if stack.shape == (2, 2):
+            stack = np.broadcast_to(stack, (batch, 2, 2))
+        if stack.shape != (batch, 2, 2):
+            raise ValueError("each confusion stack must be (batch, 2, 2) or (2, 2)")
+        tensor = np.moveaxis(tensor, bit + 1, 1)
+        shape = tensor.shape
+        # Stacked matmul runs the same 2-D GEMM per row the sequential path
+        # runs per circuit, keeping the contraction bitwise identical.
+        tensor = stack @ np.ascontiguousarray(tensor.reshape(batch, 2, -1))
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, 1, bit + 1)
+    out = np.ascontiguousarray(tensor.reshape(batch, -1))
+    totals = out.sum(axis=1)
+    positive = totals > 0
+    out[positive] /= totals[positive, None]
+    return out
 
 
 def distribution_to_counts(probabilities: np.ndarray, shots: int) -> Counts:

@@ -1,0 +1,336 @@
+"""Tests for the vectorized noisy execution pipeline (PR 4).
+
+Three contracts are pinned here:
+
+1. **Batched-vs-sequential equivalence** — ``noisy_probabilities_batch`` (and
+   the QPU batch/sweep entry points built on it) agree with the per-circuit
+   sequential path to <= 1e-10 on probabilities, across randomized circuits,
+   noise specs, and mixed-structure batches.
+2. **Seeded sampling order** — the batched paths consume a shared RNG stream
+   exactly like the sequential loop: identical counts, identical final
+   generator state, golden-pinned draws.
+3. **Trajectory correctness** — the batched ``(trajectories, 2**n)`` engine
+   converges to the exact density-matrix evolution and matches the retained
+   sequential reference statistically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.noisy import NoisyBackend
+from repro.circuit import (
+    Parameter,
+    QuantumCircuit,
+    ghz_state,
+    hardware_efficient_ansatz,
+)
+from repro.devices.catalog import build_qpu
+from repro.devices.qpu import CircuitFootprint, job_slot_circuit_seconds
+from repro.simulator.mixing import (
+    MixingNoiseSpec,
+    noisy_probabilities,
+    noisy_probabilities_batch,
+    noisy_sweep_probabilities,
+)
+from repro.simulator.sampler import (
+    apply_readout_error,
+    apply_readout_error_batch,
+    sample_distribution,
+    sample_distribution_batch,
+)
+from repro.simulator.trajectory import (
+    MonteCarloSimulator,
+    TrajectoryNoiseSpec,
+    density_matrix_probabilities,
+)
+from repro.vqa.gradient import shifted_parameter_vectors, shifted_theta_matrix
+
+TOLERANCE = 1e-10
+
+
+def _random_spec(rng: np.random.Generator, num_bits: int) -> MixingNoiseSpec:
+    per_qubit = tuple(
+        (float(rng.uniform(0.0, 0.08)), float(rng.uniform(0.0, 0.08)))
+        for _ in range(num_bits)
+    )
+    return MixingNoiseSpec(
+        success_probability=float(rng.uniform(0.4, 1.0)),
+        per_qubit_readout=per_qubit,
+        coherent_bias=float(rng.uniform(-0.05, 0.05)),
+    )
+
+
+def _shift_batch(num_qubits: int, num_params: int, seed: int) -> list[QuantumCircuit]:
+    template = hardware_efficient_ansatz(num_qubits).measure_all()
+    rng = np.random.default_rng(seed)
+    theta = rng.uniform(-np.pi, np.pi, len(template.ordered_parameters()))
+    circuits = []
+    for index in range(num_params):
+        pair = shifted_parameter_vectors(theta, index)
+        circuits.append(template.assign_by_order(pair.forward))
+        circuits.append(template.assign_by_order(pair.backward))
+    return circuits
+
+
+class TestNoisyProbabilitiesBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_sequential_on_random_batches(self, seed):
+        rng = np.random.default_rng(seed)
+        circuits = _shift_batch(4, 4, seed)
+        specs = [_random_spec(rng, 4) for _ in circuits]
+        batched = noisy_probabilities_batch(circuits, specs)
+        for circuit, spec, probs in zip(circuits, specs, batched):
+            reference = noisy_probabilities(circuit, spec)
+            assert np.max(np.abs(probs - reference)) <= TOLERANCE
+
+    def test_mixed_structure_batch_preserves_input_order(self):
+        rng = np.random.default_rng(7)
+        a = ghz_state(3)
+        b = hardware_efficient_ansatz(3).measure_all()
+        b = b.assign_by_order(
+            list(rng.uniform(-1, 1, len(b.ordered_parameters())))
+        )
+        batch = [a, b, a, b]
+        specs = [_random_spec(rng, 3) for _ in batch]
+        batched = noisy_probabilities_batch(batch, specs)
+        for circuit, spec, probs in zip(batch, specs, batched):
+            reference = noisy_probabilities(circuit, spec)
+            assert np.max(np.abs(probs - reference)) <= TOLERANCE
+
+    def test_coherent_bias_rows_are_scaled_independently(self):
+        rng = np.random.default_rng(11)
+        circuits = _shift_batch(3, 2, 11)
+        specs = [
+            MixingNoiseSpec(success_probability=1.0, coherent_bias=bias)
+            for bias in rng.uniform(-0.1, 0.1, len(circuits))
+        ]
+        batched = noisy_probabilities_batch(circuits, specs)
+        for circuit, spec, probs in zip(circuits, specs, batched):
+            reference = noisy_probabilities(circuit, spec)
+            assert np.max(np.abs(probs - reference)) <= TOLERANCE
+
+    def test_mixed_readout_presence_falls_back_row_wise(self):
+        rng = np.random.default_rng(13)
+        circuits = _shift_batch(3, 2, 13)
+        specs = []
+        for index in range(len(circuits)):
+            if index % 2 == 0:
+                specs.append(MixingNoiseSpec(success_probability=0.9))
+            else:
+                specs.append(_random_spec(rng, 3))
+        batched = noisy_probabilities_batch(circuits, specs)
+        for circuit, spec, probs in zip(circuits, specs, batched):
+            reference = noisy_probabilities(circuit, spec)
+            assert np.max(np.abs(probs - reference)) <= TOLERANCE
+
+    def test_rejects_misaligned_specs(self):
+        circuits = _shift_batch(3, 1, 0)
+        with pytest.raises(ValueError):
+            noisy_probabilities_batch(circuits, [MixingNoiseSpec(1.0)])
+
+    def test_rejects_unbound_circuits(self):
+        qc = QuantumCircuit(2).ry(Parameter("a"), 0).measure_all()
+        with pytest.raises(ValueError):
+            noisy_probabilities_batch([qc], [MixingNoiseSpec(1.0)])
+
+
+class TestSweepProbabilities:
+    def test_flat_order_matches_bound_batch(self):
+        template = hardware_efficient_ansatz(4).measure_all()
+        rng = np.random.default_rng(3)
+        theta = rng.uniform(-np.pi, np.pi, len(template.ordered_parameters()))
+        matrix = shifted_theta_matrix(theta)
+        specs = [_random_spec(rng, 4) for _ in range(matrix.shape[0])]
+        swept = noisy_sweep_probabilities([template], matrix, specs)
+        bound = [template.assign_by_order(row) for row in matrix]
+        batched = noisy_probabilities_batch(bound, specs)
+        assert len(swept) == len(batched)
+        for left, right in zip(swept, batched):
+            assert np.max(np.abs(left - right)) <= TOLERANCE
+
+
+class TestBatchedReadoutError:
+    @pytest.mark.parametrize("num_bits", [1, 2, 4])
+    def test_rows_match_sequential_application(self, num_bits):
+        rng = np.random.default_rng(num_bits)
+        batch = 6
+        probs = rng.dirichlet(np.ones(1 << num_bits), size=batch)
+        confusions = [
+            [
+                np.array(
+                    [[1 - p01, p10], [p01, 1 - p10]]
+                )
+                for (p01, p10) in rng.uniform(0, 0.1, (num_bits, 2))
+            ]
+            for _ in range(batch)
+        ]
+        stacks = [
+            np.stack([confusions[row][bit] for row in range(batch)])
+            for bit in range(num_bits)
+        ]
+        batched = apply_readout_error_batch(probs, stacks)
+        for row in range(batch):
+            reference = apply_readout_error(probs[row], confusions[row])
+            assert np.array_equal(batched[row], reference)
+
+
+class TestSeededSamplingOrder:
+    """The batched device paths must consume RNG streams bit-exactly."""
+
+    def test_batched_multinomial_matches_sequential_draws(self):
+        probs = np.random.default_rng(0).dirichlet(np.ones(16), size=8)
+        seq_rng = np.random.default_rng(42)
+        bat_rng = np.random.default_rng(42)
+        sequential = [
+            sample_distribution(row, 257, seq_rng, num_bits=4) for row in probs
+        ]
+        batched = sample_distribution_batch(probs, 257, bat_rng, num_bits=4)
+        assert [dict(c) for c in sequential] == [dict(c) for c in batched]
+        assert seq_rng.bit_generator.state == bat_rng.bit_generator.state
+
+    def test_execute_batch_is_bit_exact_with_sequential_execution(self):
+        circuits = _shift_batch(4, 4, 21)
+        footprint = CircuitFootprint.from_circuit(circuits[0])
+        batch_qpu = build_qpu("Belem")
+        seq_qpu = build_qpu("Belem")
+
+        batch_rng = np.random.default_rng(9)
+        batched = batch_qpu.execute_batch(
+            circuits, footprint, 256, now=5000.0, rng=batch_rng
+        )
+
+        seq_rng = np.random.default_rng(9)
+        elapsed = 0.0
+        sequential = []
+        for circuit in circuits:
+            result = seq_qpu.execute(
+                circuit, footprint, 256, now=5000.0 + elapsed, rng=seq_rng
+            )
+            sequential.append(result)
+            elapsed += job_slot_circuit_seconds(result.duration_seconds)
+
+        for left, right in zip(batched, sequential):
+            assert dict(left.counts) == dict(right.counts)
+            assert left.duration_seconds == right.duration_seconds
+            assert left.metadata == right.metadata
+        assert batch_rng.bit_generator.state == seq_rng.bit_generator.state
+
+    def test_run_sweep_matches_bound_submission(self):
+        template = hardware_efficient_ansatz(4).measure_all()
+        theta = np.random.default_rng(2).uniform(
+            -np.pi, np.pi, len(template.ordered_parameters())
+        )
+        matrix = shifted_theta_matrix(theta, [0, 3])
+        footprint = CircuitFootprint.from_circuit(template)
+
+        sweep_backend = NoisyBackend(build_qpu("Bogota"))
+        swept = sweep_backend.run_sweep(
+            [template],
+            matrix,
+            shots=128,
+            rng=np.random.default_rng(5),
+            footprint=footprint,
+            now=250.0,
+        )
+
+        run_backend = NoisyBackend(build_qpu("Bogota"))
+        bound = [template.assign_by_order(row) for row in matrix]
+        submitted = run_backend.run(
+            bound,
+            shots=128,
+            rng=np.random.default_rng(5),
+            footprint=footprint,
+            now=250.0,
+        )
+
+        assert len(swept) == len(submitted) == matrix.shape[0]
+        for left, right in zip(swept, submitted):
+            assert dict(left.counts) == dict(right.counts)
+            assert left.metadata == right.metadata
+
+    def test_golden_rng_consumption_pin(self):
+        """Golden draws for the seeded batched path (captured at PR 4)."""
+        circuits = _shift_batch(3, 2, 1)
+        footprint = CircuitFootprint.from_circuit(circuits[0])
+        qpu = build_qpu("x2")
+        results = qpu.execute_batch(
+            circuits, footprint, 64, now=0.0, rng=np.random.default_rng(1234)
+        )
+        golden_first = {"000": 11, "001": 10, "010": 12, "011": 4, "100": 6, "101": 4, "110": 13, "111": 4}
+        assert dict(results[0].counts) == golden_first
+        total_shots = sum(sum(r.counts.values()) for r in results)
+        assert total_shots == 64 * len(circuits)
+
+
+class TestFastNoiseSpecPath:
+    """execution_noise's average-based fast path must equal the snapshot math."""
+
+    @pytest.mark.parametrize("device", ["Belem", "Bogota", "Toronto"])
+    @pytest.mark.parametrize("now", [0.0, 3600.0, 43_200.0, 100_000.0])
+    def test_success_probability_matches_snapshot_route(self, device, now):
+        qpu = build_qpu(device)
+        circuits = _shift_batch(4, 1, 5)
+        footprint = CircuitFootprint.from_circuit(circuits[0])
+        spec = qpu.execution_noise(footprint, now)
+        assert spec.success_probability == qpu.true_success_probability(footprint, now)
+
+    def test_per_qubit_readout_matches_scaled_snapshot(self):
+        qpu = build_qpu("Belem")
+        circuits = _shift_batch(4, 1, 5)
+        footprint = CircuitFootprint.from_circuit(circuits[0])
+        now = 7200.0
+        spec = qpu.execution_noise(footprint, now)
+        calibration = qpu.effective_calibration(now)
+        expected = tuple(
+            (q.readout_p01, q.readout_p10)
+            for q in calibration.qubits[: max(1, footprint.num_measurements)]
+        )
+        assert spec.per_qubit_readout == expected
+
+
+class TestBatchedTrajectories:
+    def test_agrees_with_density_matrix_evolution(self):
+        spec = TrajectoryNoiseSpec(single_qubit_error=0.01, two_qubit_error=0.05)
+        sim = MonteCarloSimulator(spec, seed=17)
+        circuit = ghz_state(3)
+        exact = density_matrix_probabilities(circuit, spec)
+        assert exact.sum() == pytest.approx(1.0, abs=1e-9)
+        averaged = sim.average_probabilities(circuit, trajectories=3000)
+        # 3000 trajectories: statistical error ~1/sqrt(3000) per outcome.
+        assert np.max(np.abs(averaged - exact)) < 0.03
+
+    def test_batched_and_sequential_engines_agree_statistically(self):
+        spec = TrajectoryNoiseSpec(single_qubit_error=0.02, two_qubit_error=0.08)
+        sim = MonteCarloSimulator(spec, seed=23)
+        circuit = ghz_state(3)
+        batched = sim.average_probabilities(circuit, trajectories=1500)
+        sequential = sim.average_probabilities_sequential(circuit, trajectories=1500)
+        assert np.max(np.abs(batched - sequential)) < 0.05
+
+    def test_noiseless_spec_is_deterministic_and_ideal(self):
+        spec = TrajectoryNoiseSpec(
+            single_qubit_error=0.0,
+            two_qubit_error=0.0,
+            t1=1.0,
+            t2=1.0,
+            single_qubit_gate_time=0.0,
+            two_qubit_gate_time=0.0,
+            readout_p01=0.0,
+            readout_p10=0.0,
+        )
+        sim = MonteCarloSimulator(spec, seed=0)
+        states = sim.trajectory_states(ghz_state(2), trajectories=8)
+        reference = np.zeros(4, dtype=complex)
+        reference[0] = reference[-1] = 1 / np.sqrt(2)
+        assert np.max(np.abs(states - reference)) < 1e-12
+
+    def test_trajectory_states_are_normalized(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=3)
+        states = sim.trajectory_states(ghz_state(3), trajectories=32)
+        norms = np.linalg.norm(states, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_run_preserves_shot_totals(self):
+        sim = MonteCarloSimulator(TrajectoryNoiseSpec(), seed=4)
+        counts = sim.run(ghz_state(2), shots=123, trajectories=7)
+        assert sum(counts.values()) == 123
