@@ -64,6 +64,8 @@ def simulate_statevector_batch(
     circuits: Sequence[QuantumCircuit],
     *,
     program_cache: ProgramCache | None = None,
+    dtype=None,
+    tile: int | None = None,
 ) -> np.ndarray:
     """Simulate a batch of structurally identical bound circuits at once.
 
@@ -74,6 +76,9 @@ def simulate_statevector_batch(
     Args:
         circuits: bound circuits sharing one :func:`structure_signature`.
         program_cache: compilation cache (default: the process-wide one).
+        dtype: execution precision (``complex64`` opt-in; default complex128).
+        tile: optional row-chunk size for memory-bounded execution (see
+            :func:`repro.engine.execute_program`).
 
     Returns:
         A ``(batch, 2**n)`` complex array; row ``i`` is the final statevector
@@ -99,7 +104,7 @@ def simulate_statevector_batch(
     cache = program_cache if program_cache is not None else shared_program_cache()
     program = cache.get_or_compile(circuits[0])
     thetas = slot_values_from_circuits(program, circuits)
-    return execute_program(program, thetas)
+    return execute_program(program, thetas, dtype=dtype, tile=tile)
 
 
 def sweep_probabilities(
@@ -107,12 +112,16 @@ def sweep_probabilities(
     theta_matrix: np.ndarray,
     *,
     program_cache: ProgramCache | None = None,
+    dtype=None,
+    tile: int | None = None,
 ) -> list[np.ndarray]:
     """Measured-register distributions of a zero-rebind parameter sweep.
 
     Each template is compiled once and executed over the whole ``(points, P)``
     parameter matrix; entry ``g`` of the result is the ``(points, 2**m)``
     distribution stack of template ``g``.  No circuit is ever bound.
+    ``dtype``/``tile`` select the big-``n`` execution modes (complex64
+    distributions come back float32).
     """
     cache = program_cache if program_cache is not None else shared_program_cache()
     theta = np.atleast_2d(np.asarray(theta_matrix, dtype=float))
@@ -120,7 +129,9 @@ def sweep_probabilities(
     for template in templates:
         program = cache.get_or_compile(template)
         plan = cache.plan_for(template, program)
-        states = execute_program(program, plan_slot_values(plan, theta))
+        states = execute_program(
+            program, plan_slot_values(plan, theta), dtype=dtype, tile=tile
+        )
         measured = measured_register(template)
         out.append(marginal_probabilities(states, measured, template.num_qubits))
     return out
@@ -135,6 +146,8 @@ def sampled_sweep_results(
     rng: np.random.Generator | None,
     *,
     program_cache: ProgramCache | None = None,
+    dtype=None,
+    tile: int | None = None,
 ) -> list[ExecutionResult]:
     """Sample a zero-rebind sweep in point-major, templates-inner order.
 
@@ -146,7 +159,9 @@ def sampled_sweep_results(
     """
     templates = list(templates)
     theta = np.atleast_2d(np.asarray(theta_matrix, dtype=float))
-    probabilities = sweep_probabilities(templates, theta, program_cache=program_cache)
+    probabilities = sweep_probabilities(
+        templates, theta, program_cache=program_cache, dtype=dtype, tile=tile
+    )
     widths = [len(measured_register(t)) for t in templates]
     rng = rng if rng is not None else np.random.default_rng(seed)
     results: list[ExecutionResult] = []
@@ -312,11 +327,19 @@ class BatchedStatevectorBackend:
         self,
         name: str = "batched_statevector",
         program_cache: ProgramCache | None = None,
+        *,
+        dtype=None,
+        tile: int | None = None,
     ) -> None:
         self.name = name
         self.program_cache = (
             program_cache if program_cache is not None else shared_program_cache()
         )
+        #: Execution mode for every pass this backend runs (see
+        #: :func:`repro.engine.execute_program`); the defaults keep the
+        #: bit-exact complex128 untiled path.
+        self.dtype = dtype
+        self.tile = tile
 
     def run(
         self,
@@ -353,7 +376,11 @@ class BatchedStatevectorBackend:
                 dtype=float,
             )
             probabilities = sweep_probabilities(
-                [circuits], theta, program_cache=self.program_cache
+                [circuits],
+                theta,
+                program_cache=self.program_cache,
+                dtype=self.dtype,
+                tile=self.tile,
             )[0]
             rng = rng if rng is not None else np.random.default_rng(seed)
             num_bits = len(measured_register(circuits))
@@ -411,6 +438,8 @@ class BatchedStatevectorBackend:
             seed,
             rng,
             program_cache=self.program_cache,
+            dtype=self.dtype,
+            tile=self.tile,
         )
 
     def probabilities(self, circuits: Sequence[QuantumCircuit]) -> list[np.ndarray]:
@@ -433,7 +462,10 @@ class BatchedStatevectorBackend:
         for indices in partitions.values():
             members = [circuits[i] for i in indices]
             states = simulate_statevector_batch(
-                members, program_cache=self.program_cache
+                members,
+                program_cache=self.program_cache,
+                dtype=self.dtype,
+                tile=self.tile,
             )
             measured = measured_register(members[0])
             probs = marginal_probabilities(states, measured, members[0].num_qubits)

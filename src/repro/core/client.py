@@ -132,9 +132,17 @@ class EQCClientNode:
         theta: Sequence[float],
         submit_time: float,
         theta_version: int = 0,
+        job_spec: GradientJobSpec | None = None,
     ) -> GradientOutcome:
-        """Serve one gradient task end to end (Algorithm 2 body)."""
-        job_spec = self.objective.build_job(task, theta)
+        """Serve one gradient task end to end (Algorithm 2 body).
+
+        ``job_spec`` lets a caller that already built the task's circuit
+        batch (the parallel worker's timing preview) hand it in instead of
+        rebuilding; building it here from the same ``(task, theta)`` pair
+        produces an identical batch.
+        """
+        if job_spec is None:
+            job_spec = self.objective.build_job(task, theta)
 
         # Transpile every distinct template once (cached across tasks).
         for key, template in zip(job_spec.template_keys, job_spec.templates):

@@ -58,6 +58,15 @@ class EQCConfig:
             set).
         tenant_jobs_per_hour: per-tenant submission rate for the background
             workload.
+        parallel_workers: number of worker processes executing client steps;
+            0 or 1 (the default) keeps the sequential in-process path, which
+            is bit-exact with every pinned golden history.  Parallel runs
+            produce the same histories — the workers replay each device's
+            seeded streams exactly — but incompatible with the discrete-event
+            scheduler (its event kernel is shared across devices).
+        parallel_start_method: multiprocessing start method for the worker
+            pool (``"fork"``/``"spawn"``/``"forkserver"``; None uses the
+            platform default).
     """
 
     device_names: tuple[str, ...] = DEFAULT_VQE_FLEET
@@ -71,6 +80,8 @@ class EQCConfig:
     scheduling_policy: SchedulingPolicy | str | None = None
     background_tenants: int = 0
     tenant_jobs_per_hour: float = 1.0
+    parallel_workers: int = 0
+    parallel_start_method: str | None = None
 
     def __post_init__(self) -> None:
         if not self.device_names:
@@ -81,6 +92,21 @@ class EQCConfig:
             raise ValueError("learning_rate must be positive")
         if self.background_tenants < 0:
             raise ValueError("background_tenants must be non-negative")
+        if self.tenant_jobs_per_hour <= 0:
+            raise ValueError("tenant_jobs_per_hour must be positive")
+        if self.parallel_workers < 0:
+            raise ValueError("parallel_workers must be non-negative")
+        if self.parallel_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "parallel_start_method must be one of "
+                "None, 'fork', 'spawn', 'forkserver'"
+            )
+        if self.parallel_workers > 1 and self.uses_scheduler:
+            raise ValueError(
+                "parallel_workers > 1 is incompatible with the discrete-event "
+                "scheduler: its event kernel is shared across devices and "
+                "cannot be partitioned over worker processes"
+            )
 
     @property
     def uses_scheduler(self) -> bool:
@@ -155,22 +181,58 @@ class EQCEnsemble:
         task_queue: CyclicTaskQueue | None = None,
         record_every: int = 1,
     ) -> TrainingHistory:
-        """Run asynchronous ensemble training and return its history."""
+        """Run asynchronous ensemble training and return its history.
+
+        With ``config.parallel_workers > 1`` the per-device client steps run
+        in a multiprocessing pool (lazily constructed here, torn down before
+        returning); histories are bit-exact with the sequential path either
+        way.
+        """
+        if record_every < 1:
+            raise ValueError("record_every must be >= 1")
         queue = task_queue or vqe_task_cycle(self.objective.num_parameters)
-        master = EQCMasterNode(
-            objective=self.objective,
-            clients=self.clients,
-            task_queue=queue,
-            rule=AsgdRule(learning_rate=self.config.learning_rate),
-            weighting=WeightingConfig(
-                bounds=self.config.weight_bounds,
-                refresh_on_every_update=self.config.refresh_weights,
-            ),
-            initial_parameters=np.asarray(initial_parameters, dtype=float),
-            label=self.config.describe(),
-        )
-        history = master.train(num_epochs=num_epochs, record_every=record_every)
-        history.metadata["utilization"] = self.provider.utilization_report()
+        executor = None
+        if self.config.parallel_workers > 1:
+            # Imported lazily: execution builds on core's client node, so a
+            # module-level import would be circular.
+            from ..execution.parallel import ParallelEnsembleExecutor
+
+            executor = ParallelEnsembleExecutor(
+                objective=self.objective,
+                qpus=self.fleet,
+                num_workers=self.config.parallel_workers,
+                queue_models=self.config.queue_models,
+                seed=self.config.seed,
+                shots=self.config.shots,
+                client_names=[client.name for client in self.clients],
+                start_method=self.config.parallel_start_method,
+            )
+        try:
+            master = EQCMasterNode(
+                objective=self.objective,
+                clients=self.clients,
+                task_queue=queue,
+                rule=AsgdRule(learning_rate=self.config.learning_rate),
+                weighting=WeightingConfig(
+                    bounds=self.config.weight_bounds,
+                    refresh_on_every_update=self.config.refresh_weights,
+                ),
+                initial_parameters=np.asarray(initial_parameters, dtype=float),
+                label=self.config.describe(),
+                executor=executor,
+            )
+            history = master.train(num_epochs=num_epochs, record_every=record_every)
+            if executor is not None:
+                # This ensemble's own provider never ran a job; the workers'
+                # merged per-device records are numerically identical to the
+                # sequential single-provider report.
+                history.metadata["utilization"] = executor.utilization_report()
+                history.metadata["parallel_workers"] = executor.num_workers
+            else:
+                history.metadata["utilization"] = self.provider.utilization_report()
+        finally:
+            if executor is not None:
+                executor.shutdown()
         if self.scheduler is not None:
             history.metadata["scheduler"] = self.scheduler.metrics()
         return history

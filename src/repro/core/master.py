@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from .client import EQCClientNode, GradientOutcome
 from .history import EpochRecord, TrainingHistory
 from .objective import VQAObjective
 from .weighting import WeightingConfig, normalize_weights
+
+if TYPE_CHECKING:  # pragma: no cover - core never imports execution at runtime
+    from ..execution.parallel import ParallelEnsembleExecutor
 
 __all__ = ["EQCMasterNode", "MasterTelemetry"]
 
@@ -52,12 +55,18 @@ class MasterTelemetry:
 
 @dataclass(order=True)
 class _InFlight:
-    """One outstanding job, ordered by completion time for the event loop."""
+    """One outstanding job, ordered by completion time for the event loop.
+
+    Sequential dispatch carries the finished ``outcome`` directly; parallel
+    dispatch carries ``outcome=None`` plus the executor ``job_id`` to collect
+    it from once this entry reaches the front of the event heap.
+    """
 
     finish_time: float
     sequence: int
-    outcome: GradientOutcome = field(compare=False)
+    outcome: GradientOutcome | None = field(compare=False)
     client: EQCClientNode = field(compare=False)
+    job_id: int = field(compare=False, default=-1)
 
 
 class EQCMasterNode:
@@ -73,6 +82,7 @@ class EQCMasterNode:
         initial_parameters: Sequence[float],
         label: str = "EQC",
         start_time: float = 0.0,
+        executor: "ParallelEnsembleExecutor | None" = None,
     ) -> None:
         if not clients:
             raise ValueError("the ensemble needs at least one client node")
@@ -87,6 +97,8 @@ class EQCMasterNode:
         self.label = label
         self.state = ParameterVectorState(np.asarray(initial_parameters, dtype=float))
         self.telemetry = MasterTelemetry()
+        #: Optional multiprocess executor; None keeps the in-process path.
+        self._executor = executor
         self._start_time = float(start_time)
         self._p_correct: dict[str, float] = {}
         self._weights: dict[str, float] = {client.name: 1.0 for client in clients}
@@ -148,7 +160,14 @@ class EQCMasterNode:
         while self.telemetry.updates_applied < target_updates and pending:
             item = heapq.heappop(pending)
             now = max(now, item.finish_time)
-            outcome = item.outcome
+            # Parallel dispatches park outcome=None; the gather happens here,
+            # exactly where the sequential loop consumes the gradient, so the
+            # update/weight/epoch bookkeeping below is shared verbatim.
+            outcome = (
+                item.outcome
+                if item.outcome is not None
+                else self._executor.collect(item.job_id)
+            )
             client = item.client
 
             # Refresh this client's PCorrect and rebuild the ensemble weights.
@@ -212,6 +231,26 @@ class EQCMasterNode:
     def _dispatch(self, client: EQCClientNode, now: float, sequence: int) -> _InFlight:
         """Assign the next cyclic task to ``client`` at time ``now``."""
         task = self.task_queue.next_task()
+        if self._executor is not None:
+            # The worker answers with the previewed finish time (and circuit
+            # count, so dispatch-time telemetry matches the sequential path)
+            # and simulates the job in the background.
+            job_id, finish_time, num_circuits = self._executor.submit(
+                client.device_name,
+                task,
+                self.state.snapshot(),
+                now,
+                self.state.version,
+            )
+            self.telemetry.jobs_dispatched += 1
+            self.telemetry.circuits_executed += num_circuits
+            return _InFlight(
+                finish_time=finish_time,
+                sequence=sequence,
+                outcome=None,
+                client=client,
+                job_id=job_id,
+            )
         outcome = client.execute_task(
             task,
             theta=self.state.snapshot(),

@@ -61,6 +61,16 @@ class VQAObjective(ABC):
     def build_job(self, task: GradientTask, theta: Sequence[float]) -> GradientJobSpec:
         """Bound circuits needed to differentiate ``task`` at ``theta``."""
 
+    def circuits_per_job(self, task: GradientTask) -> int:
+        """How many circuits :meth:`build_job` will produce for ``task``.
+
+        Queue timing depends only on the circuit *count*, never on the bound
+        angles, so the parallel executor answers finish-time previews from
+        this without building (or binding) a single circuit.  Subclasses with
+        a cheaper answer than actually building the job should override.
+        """
+        return len(self.build_job(task, [0.0] * self.num_parameters).circuits)
+
     @abstractmethod
     def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
         """Recombine the measured counts (same order as the job) into d loss/d theta."""
@@ -97,6 +107,9 @@ class EnergyObjective(VQAObjective):
         keys = self._template_keys + self._template_keys
         templates = self._templates + self._templates
         return GradientJobSpec(circuits=circuits, template_keys=keys, templates=templates)
+
+    def circuits_per_job(self, task: GradientTask) -> int:
+        return 2 * self.estimator.num_groups
 
     def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
         groups = self.estimator.num_groups
@@ -145,6 +158,9 @@ class QnnObjective(VQAObjective):
             template_keys=keys,
             templates=templates,
         )
+
+    def circuits_per_job(self, task: GradientTask) -> int:
+        return 3 * self._estimator(task).num_groups
 
     def gradient_from_counts(self, task: GradientTask, counts: Sequence[Counts]) -> float:
         estimator = self._estimator(task)

@@ -182,6 +182,19 @@ class QPU:
             f"QV={self.spec.quantum_volume}, topology={self.topology.name!r})"
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle support (spawn-started worker processes).
+
+        The per-cycle memo caches are pure functions of the spec and rebuild
+        on demand with identical values; dropping them keeps the payload
+        lean.  The device RNG state transfers as-is so a pickled device
+        resumes its stream exactly.
+        """
+        state = self.__dict__.copy()
+        state["_reported_cache"] = {}
+        state["_cycle_stats"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # calibration lifecycle
     # ------------------------------------------------------------------

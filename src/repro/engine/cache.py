@@ -87,6 +87,23 @@ class ProgramCache:
         self._entries.clear()
         self._plans.clear()
 
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support (worker processes): plans are identity-keyed.
+
+        The WeakKeyDictionary of parameter plans cannot cross a process
+        boundary, and its entries would be useless anyway — they are keyed by
+        template *object identity*, which pickling does not preserve.  The
+        compiled entries themselves transfer; plans re-memoize on first use.
+        """
+        state = self.__dict__.copy()
+        state["_plans"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._plans = weakref.WeakKeyDictionary()
+
 
 _SHARED = ProgramCache()
 

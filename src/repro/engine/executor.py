@@ -8,9 +8,19 @@ matrix it produces the ``(batch, 2**n)`` final statevectors with
 * **ping-pong state buffers** — two preallocated ``(batch, 2**n)`` arrays
   alternate as einsum source/destination, so matrix gates stop allocating a
   fresh contiguous copy per gate (the pre-compiled path paid two copies per
-  gate: a ``moveaxis`` materialization and an ``ascontiguousarray``),
+  gate: a ``moveaxis`` materialization and an ``ascontiguousarray``); the
+  scratch buffer is only allocated when the program actually contains a
+  matrix op — diagonal-only programs (a bare QAOA cost layer) run in one
+  buffer,
 * **in-place diagonal ops** — phase multiplies mutate the live buffer
-  directly; a fused QAOA cost layer is a single elementwise multiply.
+  directly; a fused QAOA cost layer is a single elementwise multiply,
+* **big-``n`` execution modes** — ``tile`` processes the batch in row chunks
+  so peak memory is one output stack plus two tile-sized working buffers
+  (instead of three full ``(batch, 2**n)`` stacks), and ``dtype=complex64``
+  halves every buffer again; both are opt-in and the default (untiled,
+  complex128) path is bit-exact with the pre-tiling engine.  Tiled results
+  match untiled to <=1e-10 — the only divergence source is BLAS reduction
+  order in the diagonal-op slot matmul, which may differ with row count.
 
 Bit ordering matches :class:`~repro.simulator.statevector.Statevector`:
 qubit 0 is the most significant bit of a basis-state index.
@@ -32,15 +42,28 @@ __all__ = [
 ]
 
 _EYE2 = np.eye(2, dtype=complex)
+_EYE2_C64 = np.eye(2, dtype=np.complex64)
 
 
-def batched_gate_matrices(name: str, thetas: np.ndarray) -> np.ndarray:
+def _resolve_dtype(dtype) -> np.dtype:
+    """Validate an execution dtype (complex128 default, complex64 opt-in)."""
+    if dtype is None:
+        return np.dtype(np.complex128)
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+        raise ValueError(
+            f"execution dtype must be complex64 or complex128, got {resolved}"
+        )
+    return resolved
+
+
+def batched_gate_matrices(name: str, thetas: np.ndarray, dtype=complex) -> np.ndarray:
     """Stacked ``(batch, dim, dim)`` unitaries for one rotation gate."""
     thetas = np.asarray(thetas, dtype=float)
     half = 0.5 * thetas
     if name == "rx":
         c, s = np.cos(half), np.sin(half)
-        mats = np.zeros((thetas.size, 2, 2), dtype=complex)
+        mats = np.zeros((thetas.size, 2, 2), dtype=dtype)
         mats[:, 0, 0] = c
         mats[:, 0, 1] = -1j * s
         mats[:, 1, 0] = -1j * s
@@ -48,28 +71,28 @@ def batched_gate_matrices(name: str, thetas: np.ndarray) -> np.ndarray:
         return mats
     if name == "ry":
         c, s = np.cos(half), np.sin(half)
-        mats = np.zeros((thetas.size, 2, 2), dtype=complex)
+        mats = np.zeros((thetas.size, 2, 2), dtype=dtype)
         mats[:, 0, 0] = c
         mats[:, 0, 1] = -s
         mats[:, 1, 0] = s
         mats[:, 1, 1] = c
         return mats
     if name == "rz":
-        mats = np.zeros((thetas.size, 2, 2), dtype=complex)
+        mats = np.zeros((thetas.size, 2, 2), dtype=dtype)
         mats[:, 0, 0] = np.exp(-1j * half)
         mats[:, 1, 1] = np.exp(1j * half)
         return mats
     if name == "rzz":
         phase = np.exp(-1j * half)
         conj = np.exp(1j * half)
-        mats = np.zeros((thetas.size, 4, 4), dtype=complex)
+        mats = np.zeros((thetas.size, 4, 4), dtype=dtype)
         mats[:, 0, 0] = phase
         mats[:, 1, 1] = conj
         mats[:, 2, 2] = conj
         mats[:, 3, 3] = phase
         return mats
     if name == "cp":
-        mats = np.zeros((thetas.size, 4, 4), dtype=complex)
+        mats = np.zeros((thetas.size, 4, 4), dtype=dtype)
         mats[:, 0, 0] = 1.0
         mats[:, 1, 1] = 1.0
         mats[:, 2, 2] = 1.0
@@ -78,20 +101,26 @@ def batched_gate_matrices(name: str, thetas: np.ndarray) -> np.ndarray:
     raise ValueError(f"no batched matrix rule for gate {name!r}")
 
 
-def _element_factor(element: RunElement, thetas: np.ndarray) -> np.ndarray:
+def _element_factor(
+    element: RunElement, thetas: np.ndarray, cdtype: np.dtype
+) -> np.ndarray:
     """One factor of a fused op: a constant or a ``(batch, k, k)`` stack."""
+    single = cdtype == np.dtype(np.complex64)
     if element.matrix is not None:
-        return element.matrix
-    mats = batched_gate_matrices(element.gate, thetas[:, element.slot])
+        return element.matrix.astype(cdtype) if single else element.matrix
+    mats = batched_gate_matrices(element.gate, thetas[:, element.slot], dtype=cdtype)
+    eye = _EYE2_C64 if single else _EYE2
     if element.lift == 0:
         # kron(m, I): the factor acts on the pair's most significant wire.
-        return np.einsum("bij,kl->bikjl", mats, _EYE2).reshape(-1, 4, 4)
+        return np.einsum("bij,kl->bikjl", mats, eye).reshape(-1, 4, 4)
     if element.lift == 1:
-        return np.einsum("bij,kl->bkilj", mats, _EYE2).reshape(-1, 4, 4)
+        return np.einsum("bij,kl->bkilj", mats, eye).reshape(-1, 4, 4)
     return mats
 
 
-def _combined_matrices(op: MatrixOp, thetas: np.ndarray) -> np.ndarray:
+def _combined_matrices(
+    op: MatrixOp, thetas: np.ndarray, cdtype: np.dtype
+) -> np.ndarray:
     """Multiply an op's factors into one ``(batch, k, k)`` stack.
 
     The first element acts first, so the combined unitary is
@@ -99,9 +128,71 @@ def _combined_matrices(op: MatrixOp, thetas: np.ndarray) -> np.ndarray:
     """
     combined: np.ndarray | None = None
     for element in op.elements:
-        factor = _element_factor(element, thetas)
+        factor = _element_factor(element, thetas, cdtype)
         combined = factor if combined is None else factor @ combined
     return combined
+
+
+def _execute_block(
+    program: GateProgram, thetas: np.ndarray, cdtype: np.dtype
+) -> np.ndarray:
+    """One ping-pong pass over the ops for a (sub-)batch of points.
+
+    Contractions and phase multiplies act on each batch row independently,
+    so a tiled caller slicing ``thetas`` gets rows matching the untiled
+    pass to <=1e-10 (exactly, up to BLAS reduction order in the diagonal
+    slot matmul).  ``np.einsum(out=...)`` casts under the ``'safe'`` rule, so in
+    complex64 mode every einsum input is materialized at complex64 up front;
+    in-place diagonal multiplies use ``'same_kind'`` casting and need no
+    special handling.
+    """
+    size = thetas.shape[0]
+    n = program.num_qubits
+    dim = program.dim
+    shape = (size,) + (2,) * n
+    single = cdtype == np.dtype(np.complex64)
+
+    ping = np.zeros((size, dim), dtype=cdtype)
+    ping[:, 0] = 1.0
+    # Scratch allocation is deferred to the first MatrixOp: diagonal-only
+    # programs mutate ping in place and never need a second buffer.
+    pong: np.ndarray | None = None
+
+    for op in program.ops:
+        if type(op) is DiagonalOp:
+            if op.slots:
+                angles = thetas[:, list(op.slots)] @ op.coeffs
+                if single:
+                    phase = np.exp(np.complex64(1j) * angles.astype(np.float32))
+                else:
+                    phase = np.exp(1j * angles)
+                if op.phase is not None:
+                    phase *= op.phase
+                ping *= phase
+            else:
+                ping *= op.phase
+            continue
+        if pong is None:
+            pong = np.empty_like(ping)
+        k = len(op.qubits)
+        if op.tensor is not None:
+            tensor = op.tensor.astype(cdtype) if single else op.tensor
+            np.einsum(
+                op.subscripts,
+                tensor,
+                ping.reshape(shape),
+                out=pong.reshape(shape),
+            )
+        else:
+            mats = _combined_matrices(op, thetas, cdtype)
+            np.einsum(
+                op.subscripts_batched,
+                mats.reshape((size,) + (2,) * (2 * k)),
+                ping.reshape(shape),
+                out=pong.reshape(shape),
+            )
+        ping, pong = pong, ping
+    return ping
 
 
 def execute_program(
@@ -109,6 +200,8 @@ def execute_program(
     thetas: np.ndarray | Sequence[Sequence[float]] | None = None,
     *,
     batch: int | None = None,
+    dtype=None,
+    tile: int | None = None,
 ) -> np.ndarray:
     """Run a compiled program over a batch of parameter points.
 
@@ -118,6 +211,15 @@ def execute_program(
             be passed as a 1-D vector).  May be omitted for parameterless
             programs.
         batch: batch size when ``thetas`` is omitted (default 1).
+        dtype: execution precision, ``complex64`` or ``complex128`` (the
+            default).  Single precision halves every buffer; amplitudes agree
+            with double precision to ~1e-6.
+        tile: optional row-chunk size.  The batch is executed ``tile`` points
+            at a time into one preallocated output, bounding the working set
+            at two ``(tile, 2**n)`` buffers.  Every op acts on batch rows
+            independently, so tiled rows match the untiled pass to <=1e-10
+            (BLAS reduction order in the diagonal slot matmul is the only
+            divergence source).
 
     Returns:
         A ``(batch, 2**n)`` complex array of final statevectors.
@@ -131,43 +233,20 @@ def execute_program(
             f"program expects {program.num_slots} slot angles per point, "
             f"got {thetas.shape[1]}"
         )
+    cdtype = _resolve_dtype(dtype)
     size = thetas.shape[0]
-    n = program.num_qubits
-    dim = program.dim
-    shape = (size,) + (2,) * n
 
-    ping = np.zeros((size, dim), dtype=complex)
-    ping[:, 0] = 1.0
-    pong = np.empty((size, dim), dtype=complex)
-
-    for op in program.ops:
-        if type(op) is DiagonalOp:
-            if op.slots:
-                phase = np.exp(1j * (thetas[:, list(op.slots)] @ op.coeffs))
-                if op.phase is not None:
-                    phase *= op.phase
-                ping *= phase
-            else:
-                ping *= op.phase
-            continue
-        k = len(op.qubits)
-        if op.tensor is not None:
-            np.einsum(
-                op.subscripts,
-                op.tensor,
-                ping.reshape(shape),
-                out=pong.reshape(shape),
-            )
-        else:
-            mats = _combined_matrices(op, thetas)
-            np.einsum(
-                op.subscripts_batched,
-                mats.reshape((size,) + (2,) * (2 * k)),
-                ping.reshape(shape),
-                out=pong.reshape(shape),
-            )
-        ping, pong = pong, ping
-    return ping
+    if tile is not None:
+        tile = int(tile)
+        if tile < 1:
+            raise ValueError("tile must be >= 1")
+        if tile < size:
+            out = np.empty((size, program.dim), dtype=cdtype)
+            for start in range(0, size, tile):
+                stop = min(start + tile, size)
+                out[start:stop] = _execute_block(program, thetas[start:stop], cdtype)
+            return out
+    return _execute_block(program, thetas, cdtype)
 
 
 def marginal_probabilities(
@@ -192,9 +271,13 @@ def marginal_distribution(
 
     The single home of the trace-axes + measured-order permutation logic;
     :func:`marginal_probabilities` (amplitude stacks) and the density-matrix
-    validator (diagonal probability vectors) both route through it.
+    validator (diagonal probability vectors) both route through it.  A
+    float32 stack (the complex64 execution mode) marginalizes in float32 —
+    no silent doubling of the working set.
     """
-    full = np.asarray(probabilities, dtype=float)
+    full = np.asarray(probabilities)
+    if full.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        full = full.astype(float)
     qubits = list(qubits)
     if tuple(qubits) == tuple(range(num_qubits)):
         return full

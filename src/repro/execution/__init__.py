@@ -1,0 +1,12 @@
+"""Parallel execution of EQC ensemble training.
+
+The package hosts the multiprocess side of the training loop: the
+:class:`~repro.execution.parallel.ParallelEnsembleExecutor` runs per-device
+client steps in worker processes while the master keeps its deterministic
+event loop, so seeded histories are bit-exact with sequential execution (see
+the module docstring of :mod:`repro.execution.parallel` for the argument).
+"""
+
+from .parallel import ParallelEnsembleExecutor, WorkerContext
+
+__all__ = ["ParallelEnsembleExecutor", "WorkerContext"]

@@ -1,0 +1,479 @@
+"""True parallel EQC: per-device client steps in a multiprocessing pool.
+
+The discrete-event master loop is deterministic given each job's finish time,
+and each device's state — its endpoint RNG stream, ``free_at`` watermark, and
+drift/calibration memoization — evolves only from the sequence of jobs that
+device receives.  Those two facts make real multiprocess parallelism
+compatible with bit-exact seeded histories:
+
+* **Workers own whole per-device stacks.**  Each worker process rebuilds its
+  assigned devices from their :class:`~repro.devices.qpu.QPUSpec` rows plus a
+  private :class:`~repro.cloud.provider.CloudProvider` and
+  :class:`~repro.core.client.EQCClientNode` per device.  Endpoint RNG streams
+  are seeded ``(seed, spec.seed, 0xB0B)`` — independent of which provider
+  instance hosts the endpoint — so a worker's device state is identical to
+  the same device inside the sequential single-provider run.
+* **Finish times are predictable before simulation.**  A job's finish time
+  depends only on one queue-wait draw, the device's ``free_at``, and the
+  drift-model duration arithmetic — never on the parameter vector or the
+  simulated physics.  A worker therefore answers a ``submit`` with a cheap
+  *timing preview* (computed against a deep copy of the endpoint RNG, leaving
+  the real stream for the actual execution) and simulates the job afterwards,
+  while the master already dispatches to other devices.
+* **The master keeps the sequential control flow.**  Dispatch order, theta
+  snapshots, weight refreshes and update order are unchanged; only the
+  gradient computation moves off-process.  The heap needs nothing but the
+  previewed finish times; the gradient is collected exactly at the moment the
+  sequential loop would have consumed it.
+
+Each worker runs a small listener thread that drains its inbox and answers
+timing previews immediately while the worker's main thread executes the
+simulation backlog — so a busy worker never stalls the master's dispatch.
+The worker asserts that every executed job finishes exactly at its previewed
+time; any mismatch (or any worker exception) is propagated to the master as
+a ``RuntimeError``.
+
+The scheduler path (``EQCConfig.uses_scheduler``) shares one event kernel
+across all devices and therefore cannot be partitioned per worker;
+:class:`~repro.core.ensemble.EQCConfig` rejects the combination up front.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import queue as queue_module
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..backends.cache import TranspileCache
+from ..cloud.provider import CloudProvider
+from ..cloud.queueing import QueueModel
+from ..core.client import EQCClientNode, GradientOutcome
+from ..core.objective import VQAObjective
+from ..devices.qpu import QPU, QPUSpec, job_slot_circuit_seconds
+from ..vqa.tasks import GradientTask
+
+__all__ = ["WorkerContext", "ParallelEnsembleExecutor"]
+
+#: Seconds between liveness checks while waiting on worker messages.
+_POLL_SECONDS = 0.1
+
+#: Seconds to wait for workers to acknowledge a stop before terminating them.
+_SHUTDOWN_GRACE_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Everything one worker process needs to rebuild its device stacks.
+
+    The context crosses the process boundary once, at pool start-up; it must
+    stay picklable under the ``spawn`` start method (the pickle round-trip
+    tests pin this for the payload types).
+    """
+
+    objective: VQAObjective
+    qpu_specs: tuple[QPUSpec, ...]
+    client_names: tuple[str, ...]
+    queue_models: dict[str, QueueModel] | None
+    seed: int
+    shots: int
+    worker_id: int
+
+
+class _WorkerRuntime:
+    """The per-process device stacks plus the timing-preview arithmetic."""
+
+    def __init__(self, context: WorkerContext) -> None:
+        self.worker_id = context.worker_id
+        self.objective = context.objective
+        qpus = [QPU(spec) for spec in context.qpu_specs]
+        #: The worker's private provider: endpoint RNG seeds derive from
+        #: (seed, spec.seed) only, so per-device streams match the sequential
+        #: run's single shared provider exactly.
+        self.provider = CloudProvider(
+            qpus,
+            queue_models=context.queue_models,
+            seed=context.seed,
+            shots=context.shots,
+        )
+        transpile_cache = TranspileCache()
+        self.clients: dict[str, EQCClientNode] = {
+            qpu.name: EQCClientNode(
+                objective=context.objective,
+                qpu=qpu,
+                provider=self.provider,
+                shots=context.shots,
+                name=name,
+                transpile_cache=transpile_cache,
+            )
+            for qpu, name in zip(qpus, context.client_names)
+        }
+
+    # ------------------------------------------------------------------
+    def predict_finish(
+        self, device_name: str, num_circuits: int, submit_time: float
+    ) -> float:
+        """The exact finish time ``provider.submit`` will produce.
+
+        Replicates :meth:`StatisticalQueuePolicy.start_time` (one lognormal
+        draw against a *copy* of the endpoint stream, so the real stream is
+        consumed by the actual execution) followed by the per-circuit
+        duration accumulation of :meth:`QPU._timeline_with_metadata`, float
+        op for float op — the worker asserts bitwise equality afterwards.
+        """
+        endpoint = self.provider._endpoint(device_name)
+        preview_rng = copy.deepcopy(endpoint.rng)
+        wait = endpoint.queue_model.sample_wait(submit_time, preview_rng)
+        start = max(float(submit_time) + wait, endpoint.free_at)
+        elapsed = 0.0
+        for _ in range(num_circuits):
+            duration = endpoint.qpu.job_duration_seconds(start + elapsed)
+            elapsed += job_slot_circuit_seconds(duration)
+        return start + elapsed
+
+    def execute(
+        self,
+        device_name: str,
+        task: GradientTask,
+        theta: np.ndarray,
+        submit_time: float,
+        theta_version: int,
+        num_circuits: int,
+        predicted_finish: float,
+    ) -> GradientOutcome:
+        """Run one client step and verify the previewed finish time.
+
+        The circuit batch is bound here, off the master's critical path —
+        the timing preview only needed the circuit *count*.
+        """
+        job_spec = self.objective.build_job(task, theta)
+        if len(job_spec.circuits) != num_circuits:
+            raise RuntimeError(
+                f"worker {self.worker_id}: circuits_per_job promised "
+                f"{num_circuits} circuits but build_job produced "
+                f"{len(job_spec.circuits)} on {device_name!r}"
+            )
+        client = self.clients[device_name]
+        outcome = client.execute_task(
+            task,
+            theta=theta,
+            submit_time=submit_time,
+            theta_version=theta_version,
+            job_spec=job_spec,
+        )
+        if outcome.finish_time != predicted_finish:
+            raise RuntimeError(
+                f"worker {self.worker_id}: predicted finish time "
+                f"{predicted_finish!r} does not match executed finish time "
+                f"{outcome.finish_time!r} on {device_name!r}"
+            )
+        return outcome
+
+    def utilization_report(self) -> dict[str, dict[str, float]]:
+        return self.provider.utilization_report()
+
+
+def _worker_main(context: WorkerContext, inbox, outbox) -> None:
+    """Worker process body: preview timings eagerly, simulate in order.
+
+    A daemon listener thread drains the inbox: for a job it answers the
+    timing preview immediately (the preview needs only the circuit count,
+    via :meth:`VQAObjective.circuits_per_job`) and appends the work item to
+    a backlog the main thread consumes FIFO — circuit binding and the
+    simulation itself both stay off the master's critical path.  Control
+    messages (``report``/``stop``) travel through the same backlog, so they
+    serialize after every already-accepted job.
+    """
+    try:
+        runtime = _WorkerRuntime(context)
+    except Exception:
+        outbox.put(("error", -1, traceback.format_exc()))
+        return
+
+    backlog: deque[tuple] = deque()
+    ready = threading.Condition()
+
+    def _enqueue(item: tuple) -> None:
+        with ready:
+            backlog.append(item)
+            ready.notify()
+
+    def _listen() -> None:
+        while True:
+            try:
+                message = inbox.get()
+            except (EOFError, OSError):
+                _enqueue(("stop",))
+                return
+            kind = message[0]
+            if kind == "job":
+                _, job_id, device, task, theta, submit_time, theta_version = message
+                try:
+                    num_circuits = runtime.objective.circuits_per_job(task)
+                    predicted = runtime.predict_finish(
+                        device, num_circuits, submit_time
+                    )
+                except Exception:
+                    outbox.put(("error", job_id, traceback.format_exc()))
+                    _enqueue(("stop",))
+                    return
+                outbox.put(("timing", job_id, predicted, num_circuits))
+                _enqueue(
+                    (
+                        "job",
+                        job_id,
+                        device,
+                        task,
+                        theta,
+                        submit_time,
+                        theta_version,
+                        num_circuits,
+                        predicted,
+                    )
+                )
+            else:
+                _enqueue(message)
+                if kind == "stop":
+                    return
+
+    threading.Thread(target=_listen, daemon=True).start()
+
+    while True:
+        with ready:
+            while not backlog:
+                ready.wait()
+            item = backlog.popleft()
+        kind = item[0]
+        if kind == "stop":
+            outbox.put(("stopped", runtime.worker_id))
+            return
+        if kind == "report":
+            outbox.put(("report", runtime.worker_id, runtime.utilization_report()))
+            continue
+        _, job_id, device, task, theta, submit_time, theta_version, count, predicted = item
+        try:
+            outcome = runtime.execute(
+                device, task, theta, submit_time, theta_version, count, predicted
+            )
+        except Exception:
+            outbox.put(("error", job_id, traceback.format_exc()))
+            return
+        outbox.put(("outcome", job_id, outcome))
+
+
+class ParallelEnsembleExecutor:
+    """Runs per-device EQC client steps in a pool of worker processes.
+
+    Devices are assigned round-robin to ``num_workers`` workers (capped at
+    the fleet size).  :meth:`submit` returns as soon as the owning worker has
+    previewed the job's finish time; :meth:`collect` blocks until the
+    worker's simulation of that job lands.  Because a device's next job is
+    only submitted after its previous outcome was collected, per-device
+    operations are strictly serialized and every device evolves exactly as
+    in the sequential loop.
+    """
+
+    def __init__(
+        self,
+        objective: VQAObjective,
+        qpus: Sequence[QPU],
+        *,
+        num_workers: int,
+        queue_models: Mapping[str, QueueModel] | None = None,
+        seed: int = 0,
+        shots: int = 8192,
+        client_names: Sequence[str] | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        qpus = list(qpus)
+        if not qpus:
+            raise ValueError("the executor needs at least one device")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = min(int(num_workers), len(qpus))
+        self.device_names = tuple(qpu.name for qpu in qpus)
+        if client_names is None:
+            client_names = [f"client_{name}" for name in self.device_names]
+        if len(client_names) != len(qpus):
+            raise ValueError("client_names must align with the fleet")
+
+        context = mp.get_context(start_method) if start_method else mp.get_context()
+        self._outbox = context.Queue()
+        self._device_worker: dict[str, int] = {}
+        assignments: list[list[tuple[QPUSpec, str]]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        for index, (qpu, client_name) in enumerate(zip(qpus, client_names)):
+            worker_id = index % self.num_workers
+            assignments[worker_id].append((qpu.spec, str(client_name)))
+            self._device_worker[qpu.name] = worker_id
+
+        self._inboxes = []
+        self._processes = []
+        for worker_id, assigned in enumerate(assignments):
+            worker_context = WorkerContext(
+                objective=objective,
+                qpu_specs=tuple(spec for spec, _ in assigned),
+                client_names=tuple(name for _, name in assigned),
+                queue_models=dict(queue_models) if queue_models else None,
+                seed=int(seed),
+                shots=int(shots),
+                worker_id=worker_id,
+            )
+            inbox = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_context, inbox, self._outbox),
+                daemon=True,
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+        self._next_job_id = 0
+        self._timings: dict[int, tuple[float, int]] = {}
+        self._outcomes: dict[int, GradientOutcome] = {}
+        self._reports: dict[int, dict] = {}
+        self._stopped: set[int] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ParallelEnsembleExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        device_name: str,
+        task: GradientTask,
+        theta: np.ndarray,
+        submit_time: float,
+        theta_version: int,
+    ) -> tuple[int, float, int]:
+        """Dispatch one client step; returns ``(job_id, finish_time, num_circuits)``.
+
+        Blocks only until the owning worker answers the timing preview — the
+        simulation itself proceeds in the background.
+        """
+        if device_name not in self._device_worker:
+            raise KeyError(f"unknown device {device_name!r}")
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._inboxes[self._device_worker[device_name]].put(
+            (
+                "job",
+                job_id,
+                device_name,
+                task,
+                np.asarray(theta, dtype=float),
+                float(submit_time),
+                int(theta_version),
+            )
+        )
+        self._wait(lambda: job_id in self._timings)
+        finish_time, num_circuits = self._timings.pop(job_id)
+        return job_id, finish_time, num_circuits
+
+    def collect(self, job_id: int) -> GradientOutcome:
+        """Block until the worker's simulation of ``job_id`` completes."""
+        self._wait(lambda: job_id in self._outcomes)
+        return self._outcomes.pop(job_id)
+
+    def utilization_report(self) -> dict[str, dict[str, float]]:
+        """Merged per-device utilization, in fleet order.
+
+        Each device's record lives in exactly one worker and evolves
+        identically to the sequential provider's endpoint, so the merged
+        report is numerically identical to
+        :meth:`CloudProvider.utilization_report`.
+        """
+        self._reports.clear()
+        for inbox in self._inboxes:
+            inbox.put(("report",))
+        self._wait(lambda: len(self._reports) == self.num_workers)
+        merged: dict[str, dict[str, float]] = {}
+        for report in self._reports.values():
+            merged.update(report)
+        return {name: merged[name] for name in self.device_names if name in merged}
+
+    def shutdown(self) -> None:
+        """Stop every worker; safe to call more than once (and on errors)."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        deadline = _SHUTDOWN_GRACE_SECONDS / _POLL_SECONDS
+        while len(self._stopped) < self.num_workers and deadline > 0:
+            try:
+                message = self._outbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                deadline -= 1
+                if all(not p.is_alive() for p in self._processes):
+                    break
+                continue
+            if message[0] != "error":
+                self._route(message)
+        for process in self._processes:
+            process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for channel in [self._outbox, *self._inboxes]:
+            channel.close()
+            channel.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    def _wait(self, predicate) -> None:
+        """Pump worker messages until ``predicate`` holds.
+
+        Raises ``RuntimeError`` when a worker reports an exception or dies
+        without reporting.
+        """
+        if self._closed:
+            raise RuntimeError("the executor is shut down")
+        while not predicate():
+            try:
+                message = self._outbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                for worker_id, process in enumerate(self._processes):
+                    if not process.is_alive() and worker_id not in self._stopped:
+                        raise RuntimeError(
+                            f"parallel worker {worker_id} died "
+                            f"(exit code {process.exitcode})"
+                        )
+                continue
+            self._route(message)
+
+    def _route(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "timing":
+            _, job_id, finish_time, num_circuits = message
+            self._timings[job_id] = (float(finish_time), int(num_circuits))
+        elif kind == "outcome":
+            _, job_id, outcome = message
+            self._outcomes[job_id] = outcome
+        elif kind == "report":
+            _, worker_id, report = message
+            self._reports[worker_id] = report
+        elif kind == "stopped":
+            self._stopped.add(message[1])
+        elif kind == "error":
+            _, job_id, text = message
+            raise RuntimeError(
+                f"parallel worker failed while serving job {job_id}:\n{text}"
+            )
+        else:  # pragma: no cover - defensive against protocol drift
+            raise RuntimeError(f"unknown worker message {kind!r}")

@@ -156,30 +156,50 @@ class EnergyEstimator:
             self._compiled = compiled
         return self._compiled
 
-    def sweep_probabilities(self, theta_matrix: np.ndarray) -> list[np.ndarray]:
+    def sweep_probabilities(
+        self,
+        theta_matrix: np.ndarray,
+        *,
+        dtype=None,
+        tile: int | None = None,
+    ) -> list[np.ndarray]:
         """Measured distributions of every group over a parameter sweep.
 
         Entry ``g`` is a ``(points, 2**n)`` stack; no circuit is bound —
         the ``(points, P)`` matrix feeds the compiled programs directly.
+        ``dtype``/``tile`` select the big-``n`` execution modes (complex64
+        stacks come back float32).
         """
         theta = np.atleast_2d(np.asarray(theta_matrix, dtype=float))
         out = []
         for program, plan, _ in self._compiled_groups():
-            states = execute_program(program, plan_slot_values(plan, theta))
+            states = execute_program(
+                program, plan_slot_values(plan, theta), dtype=dtype, tile=tile
+            )
             out.append(np.abs(states) ** 2)
         return out
 
-    def exact_energies(self, theta_matrix: np.ndarray) -> np.ndarray:
+    def exact_energies(
+        self,
+        theta_matrix: np.ndarray,
+        *,
+        dtype=None,
+        tile: int | None = None,
+    ) -> np.ndarray:
         """Noise-free energies at every row of a ``(points, P)`` matrix.
 
         One compiled pass per measurement group; Z-diagonalized Pauli terms
         are evaluated through precomputed sign weights instead of per-qubit
-        axis moves.  Agrees with :meth:`exact_energy` to ~1e-14.
+        axis moves.  Agrees with :meth:`exact_energy` to ~1e-14 (complex64
+        mode to ~1e-5), and the energy accumulator stays float64 in every
+        mode.
         """
         theta = np.atleast_2d(np.asarray(theta_matrix, dtype=float))
         energies = np.zeros(theta.shape[0], dtype=float)
         for program, plan, weights in self._compiled_groups():
-            states = execute_program(program, plan_slot_values(plan, theta))
+            states = execute_program(
+                program, plan_slot_values(plan, theta), dtype=dtype, tile=tile
+            )
             energies += (np.abs(states) ** 2) @ weights
         return energies
 
