@@ -1,0 +1,54 @@
+"""Shared CLI and JSON plumbing for the benchmark scripts.
+
+Every ``benchmarks/bench_*.py`` follows the same contract: run (optionally
+reduced by ``--smoke``), print a human-readable report plus the raw JSON
+result, write ``BENCH_<name>.json`` at the repository root, and assert its
+acceptance floors.  This module is the single home of that boilerplate so
+the individual benchmarks only contain what is specific to them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["REPO_ROOT", "bench_json_path", "smoke_requested", "write_bench_json", "bench_main"]
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def bench_json_path(name: str) -> Path:
+    """The canonical ``BENCH_<name>.json`` location at the repository root."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def smoke_requested(argv: list[str] | None = None) -> bool:
+    """True when the CLI asked for the reduced-but-complete CI run."""
+    args = sys.argv[1:] if argv is None else list(argv)
+    return "--smoke" in args
+
+
+def write_bench_json(path, result: dict) -> None:
+    """Persist one benchmark result (pretty JSON, trailing newline)."""
+    Path(path).write_text(json.dumps(result, indent=2) + "\n")
+
+
+def bench_main(
+    run: Callable[[bool], dict],
+    check_and_record: Callable[[dict], None],
+    report: Callable[[dict], None] | None = None,
+    argv: list[str] | None = None,
+) -> dict:
+    """The shared ``__main__`` body of every benchmark script.
+
+    ``run`` receives the smoke flag and returns the result dict;
+    ``check_and_record`` persists it and asserts the acceptance floors.
+    """
+    result = run(smoke_requested(argv))
+    if report is not None:
+        report(result)
+    print(json.dumps(result, indent=2))
+    check_and_record(result)
+    return result

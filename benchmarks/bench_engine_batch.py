@@ -20,12 +20,11 @@ parity everywhere.
 
 from __future__ import annotations
 
-import json
-import sys
 import time
-from pathlib import Path
 
 import numpy as np
+
+from _common import bench_json_path, bench_main, write_bench_json
 
 from repro.backends.batched import (
     batched_probabilities,
@@ -44,7 +43,7 @@ REPEATS = 15
 SMOKE_REPEATS = 3
 MACRO_QUBITS = 6
 MACRO_LAYERS = 4
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+BENCH_PATH = bench_json_path("engine")
 
 #: Pinned CI floors — a compiled engine slower than this is a regression.
 MIN_COMPILED_OVER_V1 = 3.0
@@ -189,7 +188,7 @@ def check_and_record(result: dict) -> None:
     Shared by the pytest entry point and the CLI so CI fails loudly on a
     parity break or a speedup regression no matter how it runs this file.
     """
-    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_json(BENCH_PATH, result)
     micro = result["micro_hea_sweep"]
     macro = result["macro_qaoa_sweep"]
     for section in (micro, macro):
@@ -236,8 +235,8 @@ def test_engine_batch_speedup():
 
 
 if __name__ == "__main__":
-    repeats = SMOKE_REPEATS if "--smoke" in sys.argv[1:] else REPEATS
-    bench_result = run_engine_benchmark(repeats)
-    _report(bench_result)
-    print(json.dumps(bench_result, indent=2))
-    check_and_record(bench_result)
+    bench_main(
+        lambda smoke: run_engine_benchmark(SMOKE_REPEATS if smoke else REPEATS),
+        check_and_record,
+        report=_report,
+    )

@@ -25,12 +25,11 @@ engine must hold >=10x on the 128-trajectory average.
 
 from __future__ import annotations
 
-import json
-import sys
 import time
-from pathlib import Path
 
 import numpy as np
+
+from _common import bench_json_path, bench_main, write_bench_json
 
 from repro.backends.noisy import NoisyBackend
 from repro.circuit import ghz_state, hardware_efficient_ansatz
@@ -53,7 +52,7 @@ TRAJECTORIES = 128
 TRAJECTORY_QUBITS = 4
 REPEATS = 15
 SMOKE_REPEATS = 5
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_noisy.json"
+BENCH_PATH = bench_json_path("noisy")
 
 #: Pinned CI floors — a batched noisy path slower than this is a regression.
 MIN_BATCHED_OVER_SEQUENTIAL = 3.0
@@ -247,7 +246,7 @@ def check_and_record(result: dict) -> None:
     Shared by the pytest entry point and the CLI so CI fails loudly on a
     parity break or a speedup regression no matter how it runs this file.
     """
-    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_json(BENCH_PATH, result)
     gradient = result["ensemble_gradient_batch"]
     sweep = result["zero_rebind_sweep"]
     trajectory = result["trajectory_average"]
@@ -308,8 +307,8 @@ def test_noisy_batch_speedup():
 
 
 if __name__ == "__main__":
-    repeats = SMOKE_REPEATS if "--smoke" in sys.argv[1:] else REPEATS
-    bench_result = run_noisy_benchmark(repeats)
-    _report(bench_result)
-    print(json.dumps(bench_result, indent=2))
-    check_and_record(bench_result)
+    bench_main(
+        lambda smoke: run_noisy_benchmark(SMOKE_REPEATS if smoke else REPEATS),
+        check_and_record,
+        report=_report,
+    )

@@ -21,14 +21,13 @@ across PRs:
 
 from __future__ import annotations
 
-import json
 import os
-import sys
 import time
 import tracemalloc
-from pathlib import Path
 
 import numpy as np
+
+from _common import bench_json_path, bench_main, write_bench_json
 
 from repro.circuit import hardware_efficient_ansatz
 from repro.core import EQCConfig, EQCEnsemble
@@ -45,7 +44,7 @@ SMOKE_EPOCHS = 1
 SWEEP_QUBITS = 20
 SWEEP_POINTS = 6
 SWEEP_TILE = 1
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+BENCH_PATH = bench_json_path("parallel")
 
 #: Pinned CI floors.  The parallel floor scales with the host's core count —
 #: multiprocess execution cannot beat sequential on a single core.
@@ -199,7 +198,7 @@ def check_and_record(result: dict) -> None:
     Shared by the pytest entry point and the CLI so CI fails loudly on a
     parity break or a speedup regression no matter how it runs this file.
     """
-    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_json(BENCH_PATH, result)
     ensemble = result["parallel_ensemble"]
     sweep = result["tiled_sweep"]
 
@@ -266,8 +265,8 @@ def test_parallel_speedup():
 
 
 if __name__ == "__main__":
-    bench_epochs = SMOKE_EPOCHS if "--smoke" in sys.argv[1:] else EPOCHS
-    bench_result = run_parallel_benchmark(bench_epochs)
-    _report(bench_result)
-    print(json.dumps(bench_result, indent=2))
-    check_and_record(bench_result)
+    bench_main(
+        lambda smoke: run_parallel_benchmark(SMOKE_EPOCHS if smoke else EPOCHS),
+        check_and_record,
+        report=_report,
+    )

@@ -16,12 +16,11 @@ a reduced-but-complete version for CI.
 
 from __future__ import annotations
 
-import json
-import sys
 import time
-from pathlib import Path
 
 import numpy as np
+
+from _common import bench_json_path, bench_main, write_bench_json
 
 from repro import EQCConfig, EQCEnsemble, EnergyObjective
 from repro.sched import EventKernel
@@ -33,7 +32,7 @@ KERNEL_REPEATS = 3
 MIN_EVENTS_PER_SEC = 50_000.0
 TENANT_LEVELS = (0, 100, 1000)
 DEVICES = ("x2", "Belem", "Bogota")
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sched.json"
+BENCH_PATH = bench_json_path("sched")
 
 
 def time_kernel(num_events: int, repeats: int = KERNEL_REPEATS) -> dict:
@@ -77,6 +76,7 @@ def run_contention_sweep(num_epochs: int, shots: int) -> list[dict]:
         start = time.perf_counter()
         history = ensemble.train(theta, num_epochs=num_epochs)
         metrics = history.metadata["scheduler"]
+        slo = metrics["slo"]
         sweep.append(
             {
                 "background_tenants": tenants,
@@ -86,6 +86,11 @@ def run_contention_sweep(num_epochs: int, shots: int) -> list[dict]:
                 "tenant_jobs_rejected": sum(
                     d["jobs_rejected"] for d in metrics["devices"].values()
                 ),
+                "queue_wait_mean": slo["queue_wait_mean"],
+                "queue_wait_p50": slo["queue_wait_p50"],
+                "queue_wait_p99": slo["queue_wait_p99"],
+                "rejected_fraction": slo["rejected_fraction"],
+                "tenant_fairness_jain": slo["tenant_fairness_jain"],
                 "wall_seconds": time.perf_counter() - start,
             }
         )
@@ -112,7 +117,7 @@ def run_sched_benchmark(smoke: bool = False) -> dict:
 
 def check_and_record(result: dict) -> None:
     """Persist the result and enforce the acceptance criteria."""
-    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_json(BENCH_PATH, result)
     throughput = result["kernel"]["events_per_sec"]
     assert throughput >= MIN_EVENTS_PER_SEC, (
         f"kernel throughput regressed below {MIN_EVENTS_PER_SEC:.0f}/s: "
@@ -122,6 +127,12 @@ def check_and_record(result: dict) -> None:
     assert all(a > b for a, b in zip(rates, rates[1:])), (
         f"EQC epochs/hour must degrade monotonically with tenant load: {rates}"
     )
+    for cell in result["contention"]:
+        for field in ("queue_wait_p50", "queue_wait_p99", "tenant_fairness_jain"):
+            assert field in cell, f"contention cell missing SLO field {field!r}"
+        assert 0.0 < cell["tenant_fairness_jain"] <= 1.0 + 1e-12, (
+            f"fairness index out of range: {cell['tenant_fairness_jain']}"
+        )
 
 
 def test_sched_benchmark():
@@ -140,6 +151,4 @@ def test_sched_benchmark():
 
 
 if __name__ == "__main__":
-    result = run_sched_benchmark(smoke="--smoke" in sys.argv[1:])
-    print(json.dumps(result, indent=2))
-    check_and_record(result)
+    bench_main(lambda smoke: run_sched_benchmark(smoke=smoke), check_and_record)

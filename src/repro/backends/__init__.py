@@ -29,7 +29,6 @@ from .batched import (
     sweep_probabilities,
 )
 from .cache import (
-    CacheStats,
     ProgramCache,
     TranspileCache,
     shared_program_cache,
@@ -44,7 +43,6 @@ __all__ = [
     "BatchedStatevectorBackend",
     "NoisyBackend",
     "TranspileCache",
-    "CacheStats",
     "ProgramCache",
     "shared_program_cache",
     "normalize_batch",

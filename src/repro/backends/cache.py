@@ -19,16 +19,16 @@ exactly once no matter which backend, estimator, or noisy device runs it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 
 from ..circuit.circuit import QuantumCircuit
 from ..devices.topology import Topology
 from ..engine.cache import ProgramCache, shared_program_cache
+from ..telemetry import TELEMETRY as _telemetry
 from ..transpiler.transpile import TranspileResult, transpile
 
 __all__ = [
     "template_structure_key",
-    "CacheStats",
     "TranspileCache",
     "ProgramCache",
     "shared_program_cache",
@@ -53,19 +53,6 @@ def template_structure_key(circuit: QuantumCircuit):
     return (circuit.num_qubits, tuple(body))
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss counters for one cache instance."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
 class TranspileCache:
     """Structure-keyed cache of :class:`TranspileResult` objects.
 
@@ -75,10 +62,16 @@ class TranspileCache:
 
     def __init__(self) -> None:
         self._entries: dict[tuple, TranspileResult] = {}
-        self.stats = CacheStats()
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def get_or_transpile(
         self, template: QuantumCircuit, topology: Topology
@@ -96,13 +89,39 @@ class TranspileCache:
         )
         entry = self._entries.get(key)
         if entry is not None:
-            self.stats.hits += 1
+            self.hits += 1
+            if _telemetry.enabled:
+                _telemetry.registry.counter("backends.transpile_cache.hits").inc()
             return entry
-        self.stats.misses += 1
+        self.misses += 1
+        start = time.perf_counter() if _telemetry.enabled else 0.0
         entry = transpile(template, topology)
         self._entries[key] = entry
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("backends.transpile_cache.misses").inc()
+            registry.histogram("backends.transpile_seconds").observe(
+                time.perf_counter() - start
+            )
+            registry.gauge("backends.transpile_cache.size").set(len(self._entries))
         return entry
 
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/size counters (cache effectiveness at a glance)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
+    def publish(self, registry=None, prefix: str = "backends.transpile_cache") -> None:
+        """Write the current :meth:`stats` into a metrics registry as gauges."""
+        if registry is None:
+            registry = _telemetry.registry
+        for field, value in self.stats().items():
+            registry.gauge(f"{prefix}.{field}").set(value)
+
     def clear(self) -> None:
-        """Drop every entry (stats are kept)."""
+        """Drop every entry (hit/miss counters are kept)."""
         self._entries.clear()

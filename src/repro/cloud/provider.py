@@ -34,6 +34,7 @@ from ..backends.noisy import NoisyBackend
 from ..circuit.circuit import QuantumCircuit
 from ..devices.qpu import QPU, CircuitFootprint, job_slot_circuit_seconds
 from ..simulator.result import ExecutionResult
+from ..telemetry import TELEMETRY as _telemetry
 from .job import CloudJob, JobStatus
 from .queueing import QueueModel, StatisticalQueuePolicy, queue_model_for
 
@@ -199,6 +200,10 @@ class CloudProvider:
         endpoint.record.busy_seconds += elapsed
         endpoint.record.queued_seconds += job.queue_seconds
         endpoint.record.last_finish_time = job.finish_time
+        if _telemetry.enabled:
+            # The statistical path owns its device timeline; on the scheduler
+            # path the service queue emits the per-job sim spans instead.
+            self._record_job(job, sim_span=True)
         return job
 
     def _execute_batch(
@@ -292,7 +297,30 @@ class CloudProvider:
         endpoint.record.last_finish_time = max(
             endpoint.record.last_finish_time, job.finish_time
         )
+        if _telemetry.enabled:
+            self._record_job(job, sim_span=False)
         return job
+
+    def _record_job(self, job: CloudJob, sim_span: bool) -> None:
+        """Telemetry for one completed job (enabled-path only)."""
+        registry = _telemetry.registry
+        registry.counter("qpu.jobs", device=job.device_name).inc()
+        registry.counter("qpu.circuits", device=job.device_name).inc(job.num_circuits)
+        registry.counter("qpu.shots", device=job.device_name).inc(
+            job.shots * job.num_circuits
+        )
+        registry.histogram(
+            "qpu.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+        ).observe(job.num_circuits)
+        if sim_span and job.start_time is not None and job.finish_time is not None:
+            _telemetry.tracer.add_sim_span(
+                "qpu.job",
+                "qpu",
+                job.device_name,
+                job.start_time,
+                job.finish_time - job.start_time,
+                args={"circuits": job.num_circuits, "shots": job.shots},
+            )
 
     # ------------------------------------------------------------------
     def device_free_at(self, device_name: str) -> float:

@@ -22,6 +22,7 @@ from ..devices.qpu import QPU
 from ..sched.policies import SchedulingPolicy
 from ..sched.scheduler import CloudScheduler
 from ..sched.workload import WorkloadGenerator
+from ..telemetry import TELEMETRY as _telemetry
 from ..hamiltonian.expectation import EnergyEstimator
 from ..vqa.optimizer import AsgdRule
 from ..vqa.tasks import CyclicTaskQueue, vqe_task_cycle
@@ -228,6 +229,9 @@ class EQCEnsemble:
                 # sequential single-provider report.
                 history.metadata["utilization"] = executor.utilization_report()
                 history.metadata["parallel_workers"] = executor.num_workers
+                # Worker processes collected their own metrics and spans;
+                # fold them into the master's telemetry before teardown.
+                executor.collect_telemetry()
             else:
                 history.metadata["utilization"] = self.provider.utilization_report()
         finally:
@@ -235,4 +239,13 @@ class EQCEnsemble:
                 executor.shutdown()
         if self.scheduler is not None:
             history.metadata["scheduler"] = self.scheduler.metrics()
+        if _telemetry.enabled:
+            self.transpile_cache.publish()
+            if self.scheduler is not None:
+                self.scheduler.publish()
+            registry = _telemetry.registry
+            for name, stats in history.metadata["utilization"].items():
+                registry.gauge("qpu.utilization", device=name).set(
+                    stats["utilization"]
+                )
         return history

@@ -16,12 +16,14 @@ epochs/hour.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..cloud.clock import SECONDS_PER_HOUR
+from ..telemetry import TELEMETRY as _telemetry
 from ..vqa.optimizer import AsgdRule, ParameterVectorState
 from ..vqa.tasks import CyclicTaskQueue
 from .client import EQCClientNode, GradientOutcome
@@ -150,6 +152,9 @@ class EQCMasterNode:
         pending: list[_InFlight] = []
         sequence = 0
         now = self._start_time
+        telemetry_on = _telemetry.enabled
+        epoch_wall_start = time.time_ns() if telemetry_on else 0
+        epoch_sim_start = now
 
         # Initial dispatch: one task per client (Algorithm 1's first loop).
         for client in self.clients:
@@ -180,12 +185,39 @@ class EQCMasterNode:
             staleness = self.state.version - outcome.theta_version
             self.telemetry.total_staleness += max(0, staleness)
             self.telemetry.max_staleness = max(self.telemetry.max_staleness, staleness)
+            apply_start = time.perf_counter() if telemetry_on else 0.0
             self.state.apply(outcome.task.parameter_index, outcome.gradient, self.rule, weight)
             self.telemetry.updates_applied += 1
+            if telemetry_on:
+                registry = _telemetry.registry
+                registry.histogram("eqc.weight_update_seconds").observe(
+                    time.perf_counter() - apply_start
+                )
+                registry.histogram(
+                    "eqc.update_staleness", bounds=(0, 1, 2, 4, 8, 16, 32)
+                ).observe(max(0, staleness))
 
             # Epoch bookkeeping.
             if self.telemetry.updates_applied % self.cycle_length == 0:
                 epoch_completed += 1
+                if telemetry_on:
+                    end_ns = time.time_ns()
+                    _telemetry.tracer.add_span(
+                        f"epoch {epoch_completed}",
+                        "eqc",
+                        epoch_wall_start,
+                        end_ns,
+                        args={"updates": self.telemetry.updates_applied},
+                    )
+                    _telemetry.tracer.add_sim_span(
+                        f"epoch {epoch_completed}",
+                        "eqc",
+                        "eqc epochs",
+                        epoch_sim_start,
+                        now - epoch_sim_start,
+                    )
+                    epoch_wall_start = end_ns
+                    epoch_sim_start = now
                 if epoch_completed % record_every == 0 or (
                     self.telemetry.updates_applied >= target_updates
                 ):
@@ -225,7 +257,20 @@ class EQCMasterNode:
         history.metadata["mean_staleness"] = self.telemetry.mean_staleness
         history.metadata["max_staleness"] = self.telemetry.max_staleness
         history.metadata["circuits_executed"] = self.telemetry.circuits_executed
+        if telemetry_on:
+            self.publish()
         return history
+
+    def publish(self, registry=None, prefix: str = "eqc") -> None:
+        """Write the master's run counters into a metrics registry as gauges."""
+        if registry is None:
+            registry = _telemetry.registry
+        telemetry = self.telemetry
+        registry.gauge(f"{prefix}.updates_applied").set(telemetry.updates_applied)
+        registry.gauge(f"{prefix}.jobs_dispatched").set(telemetry.jobs_dispatched)
+        registry.gauge(f"{prefix}.circuits_executed").set(telemetry.circuits_executed)
+        registry.gauge(f"{prefix}.mean_staleness").set(telemetry.mean_staleness)
+        registry.gauge(f"{prefix}.max_staleness").set(telemetry.max_staleness)
 
     # ------------------------------------------------------------------
     def _dispatch(self, client: EQCClientNode, now: float, sequence: int) -> _InFlight:

@@ -13,9 +13,11 @@ any two subsystems running the same ansatz reuse one compilation.
 
 from __future__ import annotations
 
+import time
 import weakref
 
 from ..circuit.circuit import QuantumCircuit
+from ..telemetry import TELEMETRY as _telemetry
 from .compiler import compile_circuit
 from .program import GateProgram, ParameterPlan, parameter_plan
 
@@ -56,11 +58,37 @@ class ProgramCache:
         program = self._entries.get(key)
         if program is not None:
             self.hits += 1
+            if _telemetry.enabled:
+                _telemetry.registry.counter("engine.program_cache.hits").inc()
             return program
         self.misses += 1
+        start = time.perf_counter() if _telemetry.enabled else 0.0
         program = compile_circuit(circuit, fuse=self._fuse, diagonals=self._diagonals)
         self._entries[key] = program
+        if _telemetry.enabled:
+            registry = _telemetry.registry
+            registry.counter("engine.program_cache.misses").inc()
+            registry.histogram("engine.compile_seconds").observe(
+                time.perf_counter() - start
+            )
+            registry.gauge("engine.program_cache.size").set(len(self._entries))
         return program
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss/size counters (cache effectiveness at a glance)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
+    def publish(self, registry=None, prefix: str = "engine.program_cache") -> None:
+        """Write the current :meth:`stats` into a metrics registry as gauges."""
+        if registry is None:
+            registry = _telemetry.registry
+        for field, value in self.stats().items():
+            registry.gauge(f"{prefix}.{field}").set(value)
 
     def plan_for(
         self, circuit: QuantumCircuit, program: GateProgram | None = None

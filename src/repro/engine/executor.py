@@ -28,10 +28,12 @@ qubit 0 is the most significant bit of a basis-state index.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
+from ..telemetry import TELEMETRY as _telemetry
 from .program import DiagonalOp, GateProgram, MatrixOp, RunElement
 
 __all__ = [
@@ -236,17 +238,59 @@ def execute_program(
     cdtype = _resolve_dtype(dtype)
     size = thetas.shape[0]
 
+    # Telemetry rides on one enabled-check per *program execution*, never
+    # per op or per sweep point — the disabled path costs a single branch
+    # (the <2% overhead floor in bench_telemetry.py pins this).
+    start_ns = time.time_ns() if _telemetry.enabled else 0
+
+    tiles = 1
     if tile is not None:
         tile = int(tile)
         if tile < 1:
             raise ValueError("tile must be >= 1")
         if tile < size:
             out = np.empty((size, program.dim), dtype=cdtype)
+            tiles = 0
             for start in range(0, size, tile):
                 stop = min(start + tile, size)
                 out[start:stop] = _execute_block(program, thetas[start:stop], cdtype)
+                tiles += 1
+            if _telemetry.enabled:
+                _record_execution(program, size, tiles, start_ns)
             return out
-    return _execute_block(program, thetas, cdtype)
+    result = _execute_block(program, thetas, cdtype)
+    if _telemetry.enabled:
+        _record_execution(program, size, tiles, start_ns)
+    return result
+
+
+def _record_execution(
+    program: GateProgram, points: int, tiles: int, start_ns: int
+) -> None:
+    """Record one compiled execution into the registry and trace."""
+    matrix_ops = sum(1 for op in program.ops if type(op) is MatrixOp)
+    diagonal_ops = len(program.ops) - matrix_ops
+    registry = _telemetry.registry
+    registry.counter("engine.executions").inc()
+    registry.counter("engine.points_executed").inc(points)
+    registry.counter("engine.tiles_executed").inc(tiles)
+    registry.counter("engine.matrix_ops_applied").inc(matrix_ops * points)
+    registry.counter("engine.diagonal_ops_applied").inc(diagonal_ops * points)
+    end_ns = time.time_ns()
+    registry.histogram("engine.execute_seconds").observe((end_ns - start_ns) / 1e9)
+    _telemetry.tracer.add_span(
+        "engine.execute",
+        "engine",
+        start_ns,
+        end_ns,
+        args={
+            "points": points,
+            "qubits": program.num_qubits,
+            "tiles": tiles,
+            "matrix_ops": matrix_ops,
+            "diagonal_ops": diagonal_ops,
+        },
+    )
 
 
 def marginal_probabilities(

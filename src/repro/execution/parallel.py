@@ -57,6 +57,7 @@ from ..cloud.queueing import QueueModel
 from ..core.client import EQCClientNode, GradientOutcome
 from ..core.objective import VQAObjective
 from ..devices.qpu import QPU, QPUSpec, job_slot_circuit_seconds
+from ..telemetry import TELEMETRY as _telemetry
 from ..vqa.tasks import GradientTask
 
 __all__ = ["WorkerContext", "ParallelEnsembleExecutor"]
@@ -84,6 +85,7 @@ class WorkerContext:
     seed: int
     shots: int
     worker_id: int
+    telemetry_enabled: bool = False
 
 
 class _WorkerRuntime:
@@ -190,6 +192,16 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
     messages (``report``/``stop``) travel through the same backlog, so they
     serialize after every already-accepted job.
     """
+    # A fork-started worker inherits the parent's telemetry state wholesale —
+    # including already-recorded events, which would ship back duplicated.
+    # Reset unconditionally, then adopt the master's enabled decision.
+    _telemetry.reset()
+    if context.telemetry_enabled:
+        _telemetry.enable()
+        _telemetry.set_process(context.worker_id + 1, f"worker {context.worker_id}")
+    else:
+        _telemetry.disable()
+
     try:
         runtime = _WorkerRuntime(context)
     except Exception:
@@ -256,6 +268,16 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
         if kind == "report":
             outbox.put(("report", runtime.worker_id, runtime.utilization_report()))
             continue
+        if kind == "telemetry":
+            outbox.put(
+                (
+                    "telemetry",
+                    runtime.worker_id,
+                    _telemetry.registry.snapshot(),
+                    _telemetry.tracer.export_payload(),
+                )
+            )
+            continue
         _, job_id, device, task, theta, submit_time, theta_version, count, predicted = item
         try:
             outcome = runtime.execute(
@@ -290,6 +312,7 @@ class ParallelEnsembleExecutor:
         shots: int = 8192,
         client_names: Sequence[str] | None = None,
         start_method: str | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         qpus = list(qpus)
         if not qpus:
@@ -302,6 +325,13 @@ class ParallelEnsembleExecutor:
             client_names = [f"client_{name}" for name in self.device_names]
         if len(client_names) != len(qpus):
             raise ValueError("client_names must align with the fleet")
+
+        #: Whether workers collect telemetry (default: mirror the master's
+        #: state at construction time, so ``TELEMETRY.enable()`` before
+        #: building the executor covers the whole fleet).
+        self.telemetry_enabled = (
+            _telemetry.enabled if telemetry is None else bool(telemetry)
+        )
 
         context = mp.get_context(start_method) if start_method else mp.get_context()
         self._outbox = context.Queue()
@@ -325,6 +355,7 @@ class ParallelEnsembleExecutor:
                 seed=int(seed),
                 shots=int(shots),
                 worker_id=worker_id,
+                telemetry_enabled=self.telemetry_enabled,
             )
             inbox = context.Queue()
             process = context.Process(
@@ -340,6 +371,7 @@ class ParallelEnsembleExecutor:
         self._timings: dict[int, tuple[float, int]] = {}
         self._outcomes: dict[int, GradientOutcome] = {}
         self._reports: dict[int, dict] = {}
+        self._telemetry_payloads: dict[int, tuple[dict, dict]] = {}
         self._stopped: set[int] = set()
         self._closed = False
 
@@ -405,6 +437,29 @@ class ParallelEnsembleExecutor:
             merged.update(report)
         return {name: merged[name] for name in self.device_names if name in merged}
 
+    def collect_telemetry(self, registry=None, tracer=None) -> None:
+        """Fold every worker's metrics and spans into the master's telemetry.
+
+        Merging happens in worker-id order regardless of response arrival
+        order, so the merged registry is deterministic (gauge overwrites are
+        order-dependent; counters and histograms are commutative sums).
+        No-op when the executor was built with telemetry off.
+        """
+        if not self.telemetry_enabled or self._closed:
+            return
+        if registry is None:
+            registry = _telemetry.registry
+        if tracer is None:
+            tracer = _telemetry.tracer
+        self._telemetry_payloads.clear()
+        for inbox in self._inboxes:
+            inbox.put(("telemetry",))
+        self._wait(lambda: len(self._telemetry_payloads) == self.num_workers)
+        for worker_id in sorted(self._telemetry_payloads):
+            snapshot, trace_payload = self._telemetry_payloads[worker_id]
+            registry.merge_snapshot(snapshot)
+            tracer.ingest(trace_payload)
+
     def shutdown(self) -> None:
         """Stop every worker; safe to call more than once (and on errors)."""
         if self._closed:
@@ -468,6 +523,9 @@ class ParallelEnsembleExecutor:
         elif kind == "report":
             _, worker_id, report = message
             self._reports[worker_id] = report
+        elif kind == "telemetry":
+            _, worker_id, snapshot, trace_payload = message
+            self._telemetry_payloads[worker_id] = (snapshot, trace_payload)
         elif kind == "stopped":
             self._stopped.add(message[1])
         elif kind == "error":

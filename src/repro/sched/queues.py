@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable
 from ..cloud.clock import SECONDS_PER_HOUR
 from ..cloud.queueing import QueueModel
 from ..devices.qpu import QPU, job_slot_circuit_seconds
+from ..telemetry import TELEMETRY as _telemetry
 from .kernel import Event, EventKernel
 
 if TYPE_CHECKING:  # pragma: no cover - circular only for type checkers
@@ -195,6 +196,18 @@ class DeviceServiceQueue:
         duration = self.downtime_base_seconds * factor
         self.downtime_until = max(self.downtime_until, now + duration)
         self.downtime_windows.append(DowntimeWindow(start=now, duration=duration))
+        if _telemetry.enabled:
+            # Downtime gets its own lane: calibration windows overlap jobs
+            # that were already in service (non-preemptive queue), which
+            # would break span nesting on the device lane.
+            _telemetry.tracer.add_sim_span(
+                "calibration",
+                "sched.downtime",
+                f"{self.name} downtime",
+                now,
+                duration,
+                args={"drift_factor": round(factor, 4)},
+            )
 
         period = self.qpu.spec.calibration_period_hours * SECONDS_PER_HOUR
         self.kernel.schedule(
@@ -219,6 +232,10 @@ class DeviceServiceQueue:
         ):
             job.rejected = True
             self.jobs_rejected += 1
+            if _telemetry.enabled:
+                _telemetry.registry.counter(
+                    "sched.jobs_rejected", device=self.name
+                ).inc()
             return
         self.waiting.append(job)
         if self.in_service is None:
@@ -254,7 +271,36 @@ class DeviceServiceQueue:
         self.service_given[job.tenant] = (
             self.service_given.get(job.tenant, 0.0) + job.service_seconds
         )
+        if _telemetry.enabled:
+            self._record_completion(job)
         self._try_start(now)
+
+    def _record_completion(self, job: SchedJob) -> None:
+        """Telemetry for one finished job (enabled-path only).
+
+        Per-job, not per-event: the kernel's event loop stays untouched and
+        the fleet-wide event counters are published at collection time by
+        :meth:`CloudScheduler.publish` instead.
+        """
+        registry = _telemetry.registry
+        registry.counter("sched.jobs_completed", device=self.name).inc()
+        registry.histogram("sched.queue_wait_seconds").observe(job.wait_seconds)
+        registry.histogram(
+            "sched.queue_wait_seconds", tenant=job.tenant
+        ).observe(job.wait_seconds)
+        registry.gauge("sched.queue_depth", device=self.name).set(self.queue_length)
+        _telemetry.tracer.add_sim_span(
+            f"{job.tenant} job",
+            "sched",
+            self.name,
+            job.start_time,
+            job.service_seconds,
+            args={
+                "tenant": job.tenant,
+                "wait_s": round(job.wait_seconds, 6),
+                "circuits": job.num_circuits,
+            },
+        )
 
     def _service_duration(self, job: SchedJob, start: float) -> float:
         if job.service is not None:

@@ -21,6 +21,8 @@ import itertools
 from ..cloud.clock import VirtualClock
 from ..cloud.queueing import QueueModel
 from ..devices.qpu import QPU
+from ..telemetry import TELEMETRY as _telemetry
+from ..telemetry.report import jains_index, percentile
 from .kernel import EventKernel
 from .policies import SchedulingPolicy, resolve_policy
 from .queues import EVENT_PRIORITY, DeviceServiceQueue, SchedJob, ServiceFn
@@ -204,7 +206,51 @@ class CloudScheduler:
             "events_processed": self.kernel.events_processed,
             "simulated_seconds": self.kernel.now,
             "devices": per_device,
+            "slo": self.slo_metrics(),
         }
+
+    def slo_metrics(self) -> dict[str, float]:
+        """Fleet-wide latency percentiles and tenant fairness.
+
+        Queue-wait percentiles cover every completed job (foreground and
+        tenant); the fairness index is Jain's index over the device seconds
+        each tenant received, so 1.0 means perfectly even service.
+        """
+        jobs = self.completed_jobs()
+        waits = [job.wait_seconds for job in jobs]
+        rejected = sum(queue.jobs_rejected for queue in self.queues.values())
+        offered = len(jobs) + rejected
+        service_by_tenant: dict[str, float] = {}
+        for queue in self.queues.values():
+            for tenant, seconds in queue.service_given.items():
+                service_by_tenant[tenant] = (
+                    service_by_tenant.get(tenant, 0.0) + seconds
+                )
+        return {
+            "jobs_completed": float(len(jobs)),
+            "queue_wait_mean": float(sum(waits) / len(waits)) if waits else 0.0,
+            "queue_wait_p50": percentile(waits, 50.0),
+            "queue_wait_p99": percentile(waits, 99.0),
+            "rejected_fraction": rejected / offered if offered else 0.0,
+            "tenant_fairness_jain": jains_index(list(service_by_tenant.values())),
+        }
+
+    def publish(self, registry=None, prefix: str = "sched") -> None:
+        """Write kernel totals and SLO metrics into a metrics registry.
+
+        Called at collection time (not per event) so the event loop carries
+        no telemetry cost beyond the per-job hooks in the device queues.
+        """
+        if registry is None:
+            registry = _telemetry.registry
+        registry.gauge(f"{prefix}.events_processed").set(self.kernel.events_processed)
+        registry.gauge(f"{prefix}.simulated_seconds").set(self.kernel.now)
+        for field, value in self.slo_metrics().items():
+            registry.gauge(f"{prefix}.slo.{field}").set(value)
+        for name, queue in self.queues.items():
+            registry.gauge(f"{prefix}.queue_depth", device=name).set(
+                queue.queue_length
+            )
 
     def __repr__(self) -> str:
         return (

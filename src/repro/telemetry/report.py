@@ -1,0 +1,148 @@
+"""Run summaries (text + JSON) and the SLO arithmetic they share.
+
+:func:`run_report` collapses a registry + tracer into one JSON-able dict —
+counters, gauges, histogram quantiles, and a per-category span summary —
+and :func:`render_text` formats it for a terminal.  The SLO helpers at the
+bottom (:func:`percentile`, :func:`jains_index`) are the single home of the
+percentile/fairness arithmetic: :meth:`CloudScheduler.metrics` uses them to
+compute p50/p99 queue wait and the per-tenant fairness index that
+``benchmarks/bench_sched.py`` records in ``BENCH_sched.json``.
+
+Everything here is dependency-free (stdlib only) so the report can run in
+any process, including CI smoke jobs with no numpy import cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from .registry import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "jains_index",
+    "percentile",
+    "run_report",
+    "render_text",
+    "write_report",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")`` so metrics computed
+    here agree with any analysis notebook; returns 0.0 on empty input.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``, in ``(0, 1]``.
+
+    1.0 means every party received an equal share; ``1/n`` means one party
+    received everything.  Empty or all-zero inputs report 1.0 (a system
+    that allocated nothing was not unfair to anyone).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def run_report(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> dict:
+    """One JSON-able summary of everything collected this run.
+
+    Defaults to the global :data:`~repro.telemetry.TELEMETRY` instance when
+    called with no arguments.
+    """
+    if registry is None or tracer is None:
+        from .runtime import TELEMETRY
+
+        registry = registry if registry is not None else TELEMETRY.registry
+        tracer = tracer if tracer is not None else TELEMETRY.tracer
+    histograms = {}
+    for key, histogram in registry.histograms():
+        data = histogram.to_dict()
+        # The bucket vectors are merge plumbing, not summary material.
+        del data["bounds"], data["counts"]
+        histograms[key] = data
+    spans: dict[str, dict] = {}
+    for event in tracer.export_payload()["events"]:
+        duration = event.get("dur_ns")
+        seconds = (
+            duration / 1e9 if duration is not None else event.get("dur_s", 0.0) or 0.0
+        )
+        stats = spans.setdefault(event["cat"], {"spans": 0, "total_seconds": 0.0})
+        stats["spans"] += 1
+        stats["total_seconds"] += seconds
+    return {
+        "counters": dict(registry.counters()),
+        "gauges": dict(registry.gauges()),
+        "histograms": histograms,
+        "spans_by_category": {k: spans[k] for k in sorted(spans)},
+        "dropped_trace_events": tracer.dropped,
+    }
+
+
+def render_text(report: Mapping) -> str:
+    """Format a :func:`run_report` dict for a terminal."""
+    lines = ["=== telemetry report ==="]
+    if report["counters"]:
+        lines.append("counters:")
+        for key, value in report["counters"].items():
+            lines.append(f"  {key:<48} {value:,.0f}")
+    if report["gauges"]:
+        lines.append("gauges:")
+        for key, value in report["gauges"].items():
+            lines.append(f"  {key:<48} {value:,.4g}")
+    if report["histograms"]:
+        lines.append("histograms (p50 / p95 / p99):")
+        for key, data in report["histograms"].items():
+            lines.append(
+                f"  {key:<48} n={data['count']:<8} "
+                f"{data['p50']:.4g} / {data['p95']:.4g} / {data['p99']:.4g}"
+            )
+    if report["spans_by_category"]:
+        lines.append("spans:")
+        for cat, stats in report["spans_by_category"].items():
+            lines.append(
+                f"  {cat:<48} {stats['spans']} spans, "
+                f"{stats['total_seconds']:.4g} s total"
+            )
+    if report.get("dropped_trace_events"):
+        lines.append(f"dropped trace events: {report['dropped_trace_events']}")
+    return "\n".join(lines)
+
+
+def write_report(
+    json_path,
+    text_path=None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
+    """Render the run report to disk (JSON, optionally text); returns it."""
+    report = run_report(registry, tracer)
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    if text_path is not None:
+        with open(text_path, "w") as handle:
+            handle.write(render_text(report) + "\n")
+    return report

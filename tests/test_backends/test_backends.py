@@ -98,8 +98,8 @@ class TestTranspileCache:
         first = cache.get_or_transpile(template, topology)
         second = cache.get_or_transpile(template, topology)
         assert first is second
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
         assert len(cache) == 1
 
     def test_distinct_topologies_get_distinct_entries(self):
@@ -108,7 +108,7 @@ class TestTranspileCache:
         cache.get_or_transpile(template, build_qpu("Belem").topology)
         cache.get_or_transpile(template, build_qpu("Toronto").topology)
         assert len(cache) == 2
-        assert cache.stats.misses == 2
+        assert cache.misses == 2
 
     def test_ensemble_clients_share_one_cache(self):
         from repro.core.ensemble import EQCConfig, EQCEnsemble
