@@ -65,6 +65,20 @@ from .engine import (
     execute_program,
     shared_program_cache,
 )
+from .faults import (
+    BreakerState,
+    DeviceHealthTracker,
+    DeviceOutageError,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FleetExhaustedError,
+    JobDeadlineExceeded,
+    JobRetriesExhausted,
+    OutageWindow,
+    RetryPolicy,
+    WorkerCrash,
+)
 from .hamiltonian import (
     EnergyEstimator,
     PauliString,
@@ -180,4 +194,17 @@ __all__ = [
     "CalibrationAwarePolicy",
     "StatisticalQueuePolicy",
     "WorkloadGenerator",
+    # fault injection and resilience
+    "FaultPlan",
+    "OutageWindow",
+    "WorkerCrash",
+    "FaultInjector",
+    "RetryPolicy",
+    "DeviceHealthTracker",
+    "BreakerState",
+    "FaultError",
+    "DeviceOutageError",
+    "JobRetriesExhausted",
+    "JobDeadlineExceeded",
+    "FleetExhaustedError",
 ]

@@ -17,6 +17,7 @@ class JobStatus(str, Enum):
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
+    FAILED = "failed"
 
 
 @dataclass
@@ -33,6 +34,8 @@ class CloudJob:
         finish_time: simulation time all results were available.
         results: one :class:`ExecutionResult` per circuit (populated on
             completion).
+        attempts: service attempts consumed (1 without fault injection).
+        error: short failure description when ``status`` is ``FAILED``.
     """
 
     job_id: int
@@ -44,6 +47,8 @@ class CloudJob:
     finish_time: float = 0.0
     status: JobStatus = JobStatus.QUEUED
     results: list[ExecutionResult] = field(default_factory=list)
+    attempts: int = 1
+    error: str = ""
 
     @property
     def queue_seconds(self) -> float:

@@ -33,12 +33,19 @@ from ..backends.base import ExecutionBackend
 from ..backends.noisy import NoisyBackend
 from ..circuit.circuit import QuantumCircuit
 from ..devices.qpu import QPU, CircuitFootprint, job_slot_circuit_seconds
+from ..faults.errors import (
+    DeviceOutageError,
+    JobDeadlineExceeded,
+    JobRetriesExhausted,
+)
+from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..simulator.result import ExecutionResult
 from ..telemetry import TELEMETRY as _telemetry
 from .job import CloudJob, JobStatus
 from .queueing import QueueModel, StatisticalQueuePolicy, queue_model_for
 
 if TYPE_CHECKING:  # pragma: no cover - cloud never imports sched at runtime
+    from ..faults.injector import FaultInjector
     from ..sched.scheduler import CloudScheduler
 
 __all__ = ["DeviceEndpoint", "CloudProvider", "UtilizationRecord"]
@@ -100,6 +107,8 @@ class CloudProvider:
         backend_factory: BackendFactory | None = None,
         scheduler: "CloudScheduler | None" = None,
         queue_policy: StatisticalQueuePolicy | None = None,
+        fault_injector: "FaultInjector | None" = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         qpus = list(qpus)
         if not qpus:
@@ -122,6 +131,34 @@ class CloudProvider:
         self._queue_policy = (
             queue_policy if queue_policy is not None else StatisticalQueuePolicy()
         )
+        #: Fault injection: None (the default) keeps the fault-free hot path
+        #: untouched beyond one predicated branch per submit.
+        self._faults = (
+            fault_injector
+            if fault_injector is not None and fault_injector.enabled
+            else None
+        )
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        if self._faults is not None and scheduler is not None:
+            raise ValueError(
+                "fault injection is not supported on the scheduler path: "
+                "inject outages through CloudScheduler.inject_outage instead"
+            )
+        #: Devices confirmed permanently down (fail-fast on later submits).
+        self.dead_devices: set[str] = set()
+        #: Plain-int fault accounting, maintained whenever faults are active
+        #: (independent of the telemetry switch, so chaos determinism can be
+        #: asserted without enabling collection).
+        self.fault_counters: dict[str, int] = {
+            "transient_failures": 0,
+            "retries": 0,
+            "outage_deferrals": 0,
+            "job_failures": 0,
+            "result_delays": 0,
+            "calibration_blackouts": 0,
+        }
         if scheduler is not None:
             for endpoint in self._endpoints.values():
                 scheduler.register_device(endpoint.qpu, endpoint.queue_model)
@@ -184,6 +221,11 @@ class CloudProvider:
                 endpoint, job, circuits, footprint, now, shots, priority
             )
 
+        if self._faults is not None:
+            return self._submit_with_faults(
+                endpoint, job, circuits, footprint, now, shots
+            )
+
         start_time = self._queue_policy.start_time(endpoint, now)
         job.start_time = start_time
         job.status = JobStatus.RUNNING
@@ -205,6 +247,192 @@ class CloudProvider:
             # path the service queue emits the per-job sim spans instead.
             self._record_job(job, sim_span=True)
         return job
+
+    def _submit_with_faults(
+        self,
+        endpoint: DeviceEndpoint,
+        job: CloudJob,
+        circuits: Sequence[QuantumCircuit],
+        footprint: CircuitFootprint,
+        now: float,
+        shots: int,
+    ) -> CloudJob:
+        """Fault-injected statistical path: retries, outages, deadlines.
+
+        The job loops through up to ``retry_policy.max_attempts`` service
+        attempts.  Each attempt pays the normal stochastic queue wait, may be
+        deferred past a transient outage window, and may bomb with the plan's
+        transient-failure probability — in which case the provider backs off
+        (exponential, deterministically jittered) and tries again.  Failures
+        cost *virtual* time: every exception raised here carries the
+        simulation time at which the caller learns about it.
+
+        The endpoint's physics RNG is only touched by the attempt that
+        actually executes, so a chaos run's successful measurements come from
+        the same stream positions as a fault-free run with the same seed
+        (fault decisions draw from injector streams exclusively).
+        """
+        faults = self._faults
+        retry = self._retry_policy
+        device = job.device_name
+        counters = self.fault_counters
+
+        if device in self.dead_devices:
+            job.status = JobStatus.FAILED
+            job.error = "device permanently down"
+            counters["job_failures"] += 1
+            raise DeviceOutageError(
+                f"device {device!r} is permanently down",
+                device_name=device,
+                detect_time=float(now),
+                permanent=True,
+            )
+
+        deadline = (
+            job.submit_time + retry.deadline_seconds
+            if retry.deadline_seconds is not None
+            else None
+        )
+        attempt_now = float(now)
+        first_failure: float | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            job.attempts = attempt
+
+            outage = faults.outage_at(device, attempt_now)
+            if outage is not None and outage.permanent:
+                self.dead_devices.add(device)
+                job.status = JobStatus.FAILED
+                job.error = "permanent outage"
+                counters["job_failures"] += 1
+                raise DeviceOutageError(
+                    f"device {device!r} suffered a permanent outage",
+                    device_name=device,
+                    detect_time=attempt_now,
+                    permanent=True,
+                )
+
+            start_time = self._queue_policy.start_time(endpoint, attempt_now)
+            outage = faults.outage_at(device, start_time)
+            if outage is not None:
+                if outage.permanent:
+                    self.dead_devices.add(device)
+                    job.status = JobStatus.FAILED
+                    job.error = "permanent outage"
+                    counters["job_failures"] += 1
+                    raise DeviceOutageError(
+                        f"device {device!r} suffered a permanent outage",
+                        device_name=device,
+                        detect_time=start_time,
+                        permanent=True,
+                    )
+                # Transient window: the job simply waits it out at the head
+                # of the queue.
+                counters["outage_deferrals"] += 1
+                start_time = max(start_time, outage.end)
+
+            if faults.transient_failure(device):
+                if first_failure is None:
+                    first_failure = start_time
+                counters["transient_failures"] += 1
+                if attempt >= retry.max_attempts:
+                    job.status = JobStatus.FAILED
+                    job.error = f"transient failures exhausted {attempt} attempts"
+                    counters["job_failures"] += 1
+                    raise JobRetriesExhausted(
+                        f"job {job.job_id} on {device!r} failed "
+                        f"{attempt} attempts",
+                        device_name=device,
+                        detect_time=start_time,
+                        attempts=attempt,
+                    )
+                backoff = retry.backoff_seconds(attempt, faults.retry_stream(device))
+                counters["retries"] += 1
+                if _telemetry.enabled:
+                    _telemetry.registry.histogram(
+                        "faults.backoff_seconds",
+                        bounds=(15, 30, 60, 120, 300, 600, 1200),
+                    ).observe(backoff)
+                attempt_now = start_time + backoff
+                if deadline is not None and attempt_now > deadline:
+                    job.status = JobStatus.FAILED
+                    job.error = "deadline exceeded during backoff"
+                    counters["job_failures"] += 1
+                    raise JobDeadlineExceeded(
+                        f"job {job.job_id} on {device!r} blew its "
+                        f"{retry.deadline_seconds:.0f}s deadline while backing off",
+                        device_name=device,
+                        detect_time=deadline,
+                    )
+                continue
+
+            # Successful attempt: run the physics.
+            job.start_time = start_time
+            job.status = JobStatus.RUNNING
+            elapsed = self._execute_batch(
+                endpoint, job, circuits, footprint, start_time, shots
+            )
+            delay = faults.result_delay(device)
+            if delay > 0.0:
+                counters["result_delays"] += 1
+            finish_time = start_time + elapsed + delay
+
+            # Device bookkeeping is real regardless of result visibility:
+            # the hardware executed the batch.
+            endpoint.free_at = start_time + elapsed
+            endpoint.record.jobs_completed += 1
+            endpoint.record.busy_seconds += elapsed
+            endpoint.record.queued_seconds += job.queue_seconds
+            endpoint.record.last_finish_time = finish_time
+
+            if deadline is not None and finish_time > deadline:
+                job.status = JobStatus.FAILED
+                job.error = "deadline exceeded awaiting results"
+                counters["job_failures"] += 1
+                raise JobDeadlineExceeded(
+                    f"job {job.job_id} on {device!r} missed its results "
+                    f"deadline (finish {finish_time:.0f}s > {deadline:.0f}s)",
+                    device_name=device,
+                    detect_time=deadline,
+                )
+
+            for result in job.results:
+                result.queue_seconds = job.queue_seconds
+            job.finish_time = finish_time
+            job.status = JobStatus.DONE
+            if _telemetry.enabled:
+                self._record_job(job, sim_span=True)
+                if first_failure is not None:
+                    mttr = start_time - first_failure
+                    _telemetry.registry.histogram(
+                        "faults.mttr_seconds",
+                        bounds=(30, 60, 120, 300, 600, 1800, 3600),
+                    ).observe(mttr)
+                    _telemetry.tracer.add_sim_span(
+                        "fault recovery",
+                        "faults",
+                        device,
+                        first_failure,
+                        mttr,
+                        args={"job_id": job.job_id, "attempts": attempt},
+                    )
+            return job
+
+        raise AssertionError("unreachable: retry loop exits via return/raise")
+
+    def properties_view_time(self, device_name: str, now: float) -> float:
+        """The calibration timestamp the provider *publishes* at ``now``.
+
+        Normally the current time; during an injected calibration blackout
+        the published properties freeze at the window start, so client-side
+        ``PCorrect`` estimates go stale exactly as they would against a real
+        provider whose properties endpoint lags.
+        """
+        if self._faults is not None:
+            window = self._faults.calibration_blackout_at(device_name, now)
+            if window is not None:
+                self.fault_counters["calibration_blackouts"] += 1
+                return min(float(now), float(window.start))
+        return float(now)
 
     def _execute_batch(
         self,
@@ -268,6 +496,9 @@ class CloudProvider:
         """
 
         def service(start_time: float) -> float:
+            # A preempted service (outage mid-run) re-enters here with a
+            # fresh start time; drop any partial results from the cut run.
+            job.results.clear()
             return self._execute_batch(
                 endpoint, job, circuits, footprint, start_time, shots
             )

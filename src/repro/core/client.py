@@ -122,8 +122,14 @@ class EQCClientNode:
         properties as republished every ``properties_refresh_hours`` — the
         real-time adaptivity the paper's Fig. 5 demonstrates — but never the
         device's latent (cross-talk, mid-burst) behaviour.
+
+        The properties timestamp is routed through the provider: during an
+        injected calibration blackout the published view freezes at the
+        window start, so the estimate goes stale exactly as against a real
+        provider whose properties endpoint lags.
         """
-        calibration = self.qpu.estimated_calibration(now)
+        view_time = self.provider.properties_view_time(self.qpu.name, now)
+        calibration = self.qpu.estimated_calibration(view_time)
         return estimate_p_correct(calibration, self.representative_footprint(job))
 
     def execute_task(

@@ -19,6 +19,10 @@ from ..cloud.provider import CloudProvider
 from ..cloud.queueing import QueueModel
 from ..devices.catalog import DEFAULT_VQE_FLEET, build_fleet
 from ..devices.qpu import QPU
+from ..faults.health import DeviceHealthTracker
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..sched.policies import SchedulingPolicy
 from ..sched.scheduler import CloudScheduler
 from ..sched.workload import WorkloadGenerator
@@ -68,6 +72,20 @@ class EQCConfig:
         parallel_start_method: multiprocessing start method for the worker
             pool (``"fork"``/``"spawn"``/``"forkserver"``; None uses the
             platform default).
+        fault_plan: deterministic chaos scenario (see
+            :class:`~repro.faults.FaultPlan`); ``None`` or an empty plan
+            keeps the fault-free path bit-exact.  Device-level faults are
+            incompatible with the shared-kernel scheduler (inject outages
+            through :meth:`CloudScheduler.inject_outage` there) and with
+            ``parallel_workers > 1`` (use ``worker_crashes`` for parallel
+            chaos).
+        retry_policy: provider retry/backoff/deadline policy for transient
+            failures; ``None`` uses the default when faults are enabled.
+        dispatch_deadline: master-side straggler cutoff — a dispatched job
+            whose turnaround would exceed this many virtual seconds is cut
+            and its task redispatched.
+        min_live_devices: training aborts with ``FleetExhaustedError`` when
+            fewer devices remain live after retirements.
     """
 
     device_names: tuple[str, ...] = DEFAULT_VQE_FLEET
@@ -83,6 +101,10 @@ class EQCConfig:
     tenant_jobs_per_hour: float = 1.0
     parallel_workers: int = 0
     parallel_start_method: str | None = None
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    dispatch_deadline: float | None = None
+    min_live_devices: int = 1
 
     def __post_init__(self) -> None:
         if not self.device_names:
@@ -108,6 +130,45 @@ class EQCConfig:
                 "scheduler: its event kernel is shared across devices and "
                 "cannot be partitioned over worker processes"
             )
+        if self.dispatch_deadline is not None and self.dispatch_deadline <= 0:
+            raise ValueError("dispatch_deadline must be positive")
+        if not 1 <= self.min_live_devices <= len(self.device_names):
+            raise ValueError(
+                "min_live_devices must be within [1, number of devices]"
+            )
+        if self.retry_policy is not None and not self.faults_enabled:
+            raise ValueError(
+                "retry_policy requires a fault_plan with device-level faults"
+            )
+        if self.faults_enabled:
+            plan = self.fault_plan
+            if plan.has_device_faults and self.uses_scheduler:
+                raise ValueError(
+                    "device-level fault injection is incompatible with the "
+                    "shared-kernel scheduler path: inject outages through "
+                    "CloudScheduler.inject_outage / apply_fault_plan instead"
+                )
+            if plan.has_device_faults and self.parallel_workers > 1:
+                raise ValueError(
+                    "device-level fault injection is incompatible with "
+                    "parallel_workers > 1 (the timing preview cannot replay "
+                    "injector streams); use worker_crashes for parallel chaos"
+                )
+            if plan.worker_crashes and self.parallel_workers <= 1:
+                raise ValueError(
+                    "worker_crashes require parallel_workers > 1 "
+                    "(there are no worker processes to crash otherwise)"
+                )
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when the config injects any fault at all."""
+        return self.fault_plan is not None and self.fault_plan.enabled
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when the master should run its resilience machinery."""
+        return self.faults_enabled or self.dispatch_deadline is not None
 
     @property
     def uses_scheduler(self) -> bool:
@@ -141,12 +202,24 @@ class EQCEnsemble:
                 workload=workload,
                 seed=self.config.seed,
             )
+        #: Fault injection: the injector exists only when the plan carries
+        #: device-level faults, so the fault-free provider path is untouched.
+        self.fault_injector: FaultInjector | None = None
+        if (
+            self.config.fault_plan is not None
+            and self.config.fault_plan.has_device_faults
+        ):
+            self.fault_injector = FaultInjector(
+                self.config.fault_plan, seed=self.config.seed
+            )
         self.provider = CloudProvider(
             self.fleet,
             queue_models=self.config.queue_models,
             seed=self.config.seed,
             shots=self.config.shots,
             scheduler=self.scheduler,
+            fault_injector=self.fault_injector,
+            retry_policy=self.config.retry_policy,
         )
         #: One structure-keyed transpile cache shared by every client: devices
         #: with a common topology reuse each other's transpilations.
@@ -207,8 +280,10 @@ class EQCEnsemble:
                 shots=self.config.shots,
                 client_names=[client.name for client in self.clients],
                 start_method=self.config.parallel_start_method,
+                fault_plan=self.config.fault_plan,
             )
         try:
+            health = DeviceHealthTracker() if self.config.fault_tolerant else None
             master = EQCMasterNode(
                 objective=self.objective,
                 clients=self.clients,
@@ -221,8 +296,21 @@ class EQCEnsemble:
                 initial_parameters=np.asarray(initial_parameters, dtype=float),
                 label=self.config.describe(),
                 executor=executor,
+                health=health,
+                dispatch_deadline=self.config.dispatch_deadline,
+                min_live_devices=self.config.min_live_devices,
             )
             history = master.train(num_epochs=num_epochs, record_every=record_every)
+            if self.config.fault_tolerant:
+                if self.config.fault_plan is not None:
+                    history.metadata["fault_plan"] = self.config.fault_plan.describe()
+                history.metadata["provider_faults"] = dict(
+                    self.provider.fault_counters
+                )
+                if executor is not None and executor.crash_events:
+                    history.metadata["worker_crashes"] = list(executor.crash_events)
+                if health is not None and _telemetry.enabled:
+                    health.publish()
             if executor is not None:
                 # This ensemble's own provider never ran a job; the workers'
                 # merged per-device records are numerically identical to the

@@ -17,15 +17,18 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..cloud.clock import SECONDS_PER_HOUR
+from ..faults.errors import DeviceOutageError, FaultError, FleetExhaustedError
+from ..faults.health import DeviceHealthTracker
 from ..telemetry import TELEMETRY as _telemetry
 from ..vqa.optimizer import AsgdRule, ParameterVectorState
-from ..vqa.tasks import CyclicTaskQueue
+from ..vqa.tasks import CyclicTaskQueue, GradientTask
 from .client import EQCClientNode, GradientOutcome
 from .history import EpochRecord, TrainingHistory
 from .objective import VQAObjective
@@ -57,11 +60,18 @@ class MasterTelemetry:
 
 @dataclass(order=True)
 class _InFlight:
-    """One outstanding job, ordered by completion time for the event loop.
+    """One outstanding event, ordered by its time on the master's heap.
 
     Sequential dispatch carries the finished ``outcome`` directly; parallel
     dispatch carries ``outcome=None`` plus the executor ``job_id`` to collect
     it from once this entry reaches the front of the event heap.
+
+    With fault tolerance active, three more event kinds share the heap:
+    ``failure`` (a dispatch raised a :class:`FaultError`; ``finish_time`` is
+    the virtual time the failure is detected), ``straggler`` (a job whose
+    finish would blow the dispatch deadline; absorbed at the cutoff), and
+    ``probe`` (dispatch parked behind an open circuit breaker until its
+    recovery time).  All three carry the task so no gradient work is lost.
     """
 
     finish_time: float
@@ -69,6 +79,9 @@ class _InFlight:
     outcome: GradientOutcome | None = field(compare=False)
     client: EQCClientNode = field(compare=False)
     job_id: int = field(compare=False, default=-1)
+    kind: str = field(compare=False, default="job")
+    task: GradientTask | None = field(compare=False, default=None)
+    failure: FaultError | None = field(compare=False, default=None)
 
 
 class EQCMasterNode:
@@ -85,12 +98,21 @@ class EQCMasterNode:
         label: str = "EQC",
         start_time: float = 0.0,
         executor: "ParallelEnsembleExecutor | None" = None,
+        health: DeviceHealthTracker | None = None,
+        dispatch_deadline: float | None = None,
+        min_live_devices: int = 1,
     ) -> None:
         if not clients:
             raise ValueError("the ensemble needs at least one client node")
         names = [client.name for client in clients]
         if len(set(names)) != len(names):
             raise ValueError("client names must be unique")
+        if dispatch_deadline is not None and dispatch_deadline <= 0:
+            raise ValueError("dispatch_deadline must be positive")
+        if not 1 <= min_live_devices <= len(clients):
+            raise ValueError(
+                "min_live_devices must be within [1, number of clients]"
+            )
         self.objective = objective
         self.clients = list(clients)
         self.task_queue = task_queue
@@ -104,6 +126,35 @@ class EQCMasterNode:
         self._start_time = float(start_time)
         self._p_correct: dict[str, float] = {}
         self._weights: dict[str, float] = {client.name: 1.0 for client in clients}
+        #: Circuit breakers gating dispatch; None disables fault tolerance
+        #: (the default path pays a couple of ``is not None`` branches only).
+        self._health = health
+        self.dispatch_deadline = (
+            float(dispatch_deadline) if dispatch_deadline is not None else None
+        )
+        self.min_live_devices = int(min_live_devices)
+        #: Clients still in the rotation (retirement removes them here; the
+        #: full roster in ``self.clients`` is never mutated).
+        self._live: list[EQCClientNode] = list(self.clients)
+        #: Tasks recovered from failed/cut dispatches, served before the
+        #: cyclic queue so no gradient coordinate is starved by faults.
+        self._orphans: deque[GradientTask] = deque()
+        #: Fleet-level fault events in occurrence order (history metadata).
+        self._fleet_events: list[dict] = []
+        self._fault_stats = {
+            "dispatch_failures": 0,
+            "stragglers_cut": 0,
+            "retired_devices": 0,
+            "probes": 0,
+        }
+
+    @property
+    def _fault_tolerant(self) -> bool:
+        return self._health is not None or self.dispatch_deadline is not None
+
+    @property
+    def live_device_names(self) -> tuple[str, ...]:
+        return tuple(client.device_name for client in self._live)
 
     # ------------------------------------------------------------------
     @property
@@ -157,7 +208,7 @@ class EQCMasterNode:
         epoch_sim_start = now
 
         # Initial dispatch: one task per client (Algorithm 1's first loop).
-        for client in self.clients:
+        for client in list(self._live):
             sequence += 1
             heapq.heappush(pending, self._dispatch(client, now, sequence))
 
@@ -165,6 +216,12 @@ class EQCMasterNode:
         while self.telemetry.updates_applied < target_updates and pending:
             item = heapq.heappop(pending)
             now = max(now, item.finish_time)
+            if item.kind != "job":
+                # Fault-tolerance event (failure/straggler/probe): absorb it
+                # — breaker bookkeeping, task recovery, redispatch — and move
+                # on; the update path below never sees it.
+                sequence = self._absorb_fault(item, now, sequence, pending)
+                continue
             # Parallel dispatches park outcome=None; the gather happens here,
             # exactly where the sequential loop consumes the gradient, so the
             # update/weight/epoch bookkeeping below is shared verbatim.
@@ -174,6 +231,8 @@ class EQCMasterNode:
                 else self._executor.collect(item.job_id)
             )
             client = item.client
+            if self._health is not None:
+                self._health.record_success(client.device_name, now)
 
             # Refresh this client's PCorrect and rebuild the ensemble weights.
             self._p_correct[client.name] = outcome.p_correct
@@ -257,6 +316,14 @@ class EQCMasterNode:
         history.metadata["mean_staleness"] = self.telemetry.mean_staleness
         history.metadata["max_staleness"] = self.telemetry.max_staleness
         history.metadata["circuits_executed"] = self.telemetry.circuits_executed
+        if self._fault_tolerant:
+            # Only the fault-tolerant configuration writes these keys, so
+            # default-path history metadata stays byte-identical to the seed.
+            history.metadata["fleet_events"] = list(self._fleet_events)
+            history.metadata["fault_stats"] = dict(self._fault_stats)
+            history.metadata["live_devices"] = list(self.live_device_names)
+            if self._health is not None:
+                history.metadata["breakers"] = self._health.summary()
         if telemetry_on:
             self.publish()
         return history
@@ -273,9 +340,33 @@ class EQCMasterNode:
         registry.gauge(f"{prefix}.max_staleness").set(telemetry.max_staleness)
 
     # ------------------------------------------------------------------
+    def _next_task(self) -> GradientTask:
+        """Orphaned tasks (failed/cut dispatches) go out before new ones."""
+        if self._orphans:
+            return self._orphans.popleft()
+        return self.task_queue.next_task()
+
     def _dispatch(self, client: EQCClientNode, now: float, sequence: int) -> _InFlight:
-        """Assign the next cyclic task to ``client`` at time ``now``."""
-        task = self.task_queue.next_task()
+        """Assign the next task to ``client`` at time ``now``."""
+        return self._dispatch_task(client, self._next_task(), now, sequence)
+
+    def _dispatch_task(
+        self, client: EQCClientNode, task: GradientTask, now: float, sequence: int
+    ) -> _InFlight:
+        """Dispatch one specific task, absorbing faults into heap events."""
+        device = client.device_name
+        if self._health is not None and not self._health.allow(device, now):
+            # Breaker open: park the dispatch until the recovery time; the
+            # retry becomes the breaker's probe job.
+            self._fault_stats["probes"] += 1
+            return _InFlight(
+                finish_time=max(now, self._health.retry_at(device)),
+                sequence=sequence,
+                outcome=None,
+                client=client,
+                kind="probe",
+                task=task,
+            )
         if self._executor is not None:
             # The worker answers with the previewed finish time (and circuit
             # count, so dispatch-time telemetry matches the sequential path)
@@ -289,6 +380,23 @@ class EQCMasterNode:
             )
             self.telemetry.jobs_dispatched += 1
             self.telemetry.circuits_executed += num_circuits
+            if (
+                self.dispatch_deadline is not None
+                and finish_time - now > self.dispatch_deadline
+            ):
+                # Straggler: the previewed turnaround blows the deadline, so
+                # the master cuts the job at the cutoff instead of waiting
+                # (the outcome is still collected there, then discarded, to
+                # keep the per-device worker protocol serialized).
+                return _InFlight(
+                    finish_time=now + self.dispatch_deadline,
+                    sequence=sequence,
+                    outcome=None,
+                    client=client,
+                    job_id=job_id,
+                    kind="straggler",
+                    task=task,
+                )
             return _InFlight(
                 finish_time=finish_time,
                 sequence=sequence,
@@ -296,14 +404,40 @@ class EQCMasterNode:
                 client=client,
                 job_id=job_id,
             )
-        outcome = client.execute_task(
-            task,
-            theta=self.state.snapshot(),
-            submit_time=now,
-            theta_version=self.state.version,
-        )
+        try:
+            outcome = client.execute_task(
+                task,
+                theta=self.state.snapshot(),
+                submit_time=now,
+                theta_version=self.state.version,
+            )
+        except FaultError as exc:
+            # The failure is only *known* at its virtual detection time;
+            # park it on the heap so breaker/retire bookkeeping happens in
+            # event order, interleaved correctly with other completions.
+            return _InFlight(
+                finish_time=max(now, exc.detect_time),
+                sequence=sequence,
+                outcome=None,
+                client=client,
+                kind="failure",
+                task=task,
+                failure=exc,
+            )
         self.telemetry.jobs_dispatched += 1
         self.telemetry.circuits_executed += outcome.num_circuits
+        if (
+            self.dispatch_deadline is not None
+            and outcome.finish_time - now > self.dispatch_deadline
+        ):
+            return _InFlight(
+                finish_time=now + self.dispatch_deadline,
+                sequence=sequence,
+                outcome=None,
+                client=client,
+                kind="straggler",
+                task=task,
+            )
         return _InFlight(
             finish_time=outcome.finish_time,
             sequence=sequence,
@@ -311,5 +445,101 @@ class EQCMasterNode:
             client=client,
         )
 
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _absorb_fault(
+        self, item: _InFlight, now: float, sequence: int, pending: list
+    ) -> int:
+        """Process one non-job heap event; returns the updated sequence."""
+        client = item.client
+        device = client.device_name
+        if item.kind == "failure":
+            exc = item.failure
+            self._fault_stats["dispatch_failures"] += 1
+            permanent = isinstance(exc, DeviceOutageError) and exc.permanent
+            if self._health is not None:
+                if permanent:
+                    self._health.mark_dead(device, now)
+                else:
+                    self._health.record_failure(device, now)
+            self._record_fleet_event(
+                "job_failure", device, now, detail=type(exc).__name__
+            )
+            self._orphans.append(item.task)
+            dead = permanent or (
+                self._health is not None and self._health.is_dead(device)
+            )
+            if dead:
+                self._retire(client, now, reason=type(exc).__name__)
+                return sequence
+            sequence += 1
+            heapq.heappush(pending, self._dispatch(client, now, sequence))
+            return sequence
+        if item.kind == "straggler":
+            self._fault_stats["stragglers_cut"] += 1
+            if item.job_id >= 0:
+                # Drain the worker's outcome (and discard it) so the next
+                # submit to this device stays strictly serialized.
+                self._executor.collect(item.job_id)
+            if self._health is not None:
+                self._health.record_failure(device, now)
+            self._record_fleet_event("straggler_cut", device, now)
+            self._orphans.append(item.task)
+            if self._health is not None and self._health.is_dead(device):
+                self._retire(client, now, reason="straggler breaker exhausted")
+                return sequence
+            sequence += 1
+            heapq.heappush(pending, self._dispatch(client, now, sequence))
+            return sequence
+        if item.kind == "probe":
+            if client in self._live:
+                sequence += 1
+                heapq.heappush(
+                    pending, self._dispatch_task(client, item.task, now, sequence)
+                )
+            else:
+                self._orphans.append(item.task)
+            return sequence
+        raise RuntimeError(f"unknown in-flight event kind {item.kind!r}")
+
+    def _retire(self, client: EQCClientNode, now: float, reason: str) -> None:
+        """Remove a dead device from the rotation; training continues.
+
+        The retired client's ``PCorrect`` entry is dropped and the ensemble
+        weights renormalize over the survivors, so the dead device's share of
+        the update mass redistributes instead of silently decaying.
+        """
+        if client not in self._live:
+            return
+        self._live.remove(client)
+        self._p_correct.pop(client.name, None)
+        self._fault_stats["retired_devices"] += 1
+        if self._p_correct:
+            self._weights = normalize_weights(self._p_correct, self.weighting.bounds)
+        self._record_fleet_event(
+            "fleet_shrink", client.device_name, now, detail=reason
+        )
+        if _telemetry.enabled:
+            _telemetry.registry.counter("eqc.fleet_shrink").inc()
+            _telemetry.registry.gauge("eqc.live_devices").set(len(self._live))
+        if len(self._live) < self.min_live_devices:
+            raise FleetExhaustedError(
+                f"only {len(self._live)} live devices remain "
+                f"(min_live_devices={self.min_live_devices})",
+                detect_time=now,
+            )
+
+    def _record_fleet_event(
+        self, kind: str, device: str, now: float, detail: str = ""
+    ) -> None:
+        self._fleet_events.append(
+            {"kind": kind, "device": device, "time": float(now), "detail": detail}
+        )
+        if _telemetry.enabled:
+            _telemetry.registry.counter(
+                "eqc.fault_events", kind=kind, device=device
+            ).inc()
+
     def _weights_initialized(self) -> bool:
-        return len(self._p_correct) == len(self.clients)
+        return len(self._p_correct) == len(self._live)

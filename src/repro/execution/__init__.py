@@ -7,6 +7,6 @@ event loop, so seeded histories are bit-exact with sequential execution (see
 the module docstring of :mod:`repro.execution.parallel` for the argument).
 """
 
-from .parallel import ParallelEnsembleExecutor, WorkerContext
+from .parallel import ParallelEnsembleExecutor, WorkerContext, WorkerJobError
 
-__all__ = ["ParallelEnsembleExecutor", "WorkerContext"]
+__all__ = ["ParallelEnsembleExecutor", "WorkerContext", "WorkerJobError"]

@@ -41,7 +41,9 @@ across all devices and therefore cannot be partitioned per worker;
 from __future__ import annotations
 
 import copy
+import dataclasses
 import multiprocessing as mp
+import os
 import queue as queue_module
 import threading
 import traceback
@@ -57,16 +59,41 @@ from ..cloud.queueing import QueueModel
 from ..core.client import EQCClientNode, GradientOutcome
 from ..core.objective import VQAObjective
 from ..devices.qpu import QPU, QPUSpec, job_slot_circuit_seconds
+from ..faults.plan import FaultPlan
 from ..telemetry import TELEMETRY as _telemetry
 from ..vqa.tasks import GradientTask
 
-__all__ = ["WorkerContext", "ParallelEnsembleExecutor"]
+__all__ = ["WorkerContext", "WorkerJobError", "ParallelEnsembleExecutor"]
 
 #: Seconds between liveness checks while waiting on worker messages.
 _POLL_SECONDS = 0.1
 
 #: Seconds to wait for workers to acknowledge a stop before terminating them.
 _SHUTDOWN_GRACE_SECONDS = 5.0
+
+#: Exit code of an injected worker crash (distinguishes chaos from real
+#: deaths: only this code is eligible for respawn-and-replay recovery).
+_CRASH_EXIT_CODE = 47
+
+#: Default seconds a worker may stay silent while the master waits on it.
+_DEFAULT_RESPONSE_TIMEOUT_SECONDS = 600.0
+
+
+class WorkerJobError(RuntimeError):
+    """A worker raised while serving a job; re-raised at the master.
+
+    Carries the structured coordinates of the failure — ``worker_id``,
+    ``job_id`` and the original exception type name — on top of the full
+    worker-side traceback in the message.
+    """
+
+    def __init__(
+        self, message: str, *, worker_id: int, job_id: int, exc_type: str
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = int(worker_id)
+        self.job_id = int(job_id)
+        self.exc_type = str(exc_type)
 
 
 @dataclass(frozen=True)
@@ -86,6 +113,12 @@ class WorkerContext:
     shots: int
     worker_id: int
     telemetry_enabled: bool = False
+    #: Injected crash points: job counts after which this worker kills
+    #: itself (``os._exit``) before shipping the outcome.
+    crash_after: tuple[int, ...] = ()
+    #: Crash points already fired in a previous incarnation — a respawned
+    #: worker replays its job log without re-dying at the same point.
+    fired_crashes: tuple[int, ...] = ()
 
 
 class _WorkerRuntime:
@@ -204,8 +237,10 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
 
     try:
         runtime = _WorkerRuntime(context)
-    except Exception:
-        outbox.put(("error", -1, traceback.format_exc()))
+    except Exception as exc:
+        outbox.put(
+            ("error", -1, context.worker_id, type(exc).__name__, traceback.format_exc())
+        )
         return
 
     backlog: deque[tuple] = deque()
@@ -231,8 +266,16 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
                     predicted = runtime.predict_finish(
                         device, num_circuits, submit_time
                     )
-                except Exception:
-                    outbox.put(("error", job_id, traceback.format_exc()))
+                except Exception as exc:
+                    outbox.put(
+                        (
+                            "error",
+                            job_id,
+                            context.worker_id,
+                            type(exc).__name__,
+                            traceback.format_exc(),
+                        )
+                    )
                     _enqueue(("stop",))
                     return
                 outbox.put(("timing", job_id, predicted, num_circuits))
@@ -249,12 +292,25 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
                         predicted,
                     )
                 )
+            elif kind == "replay":
+                # Replayed job (post-crash recovery): the eager preview would
+                # read endpoint state that prior replayed jobs haven't
+                # re-established yet, so timing is computed by the main
+                # thread in execution order instead.
+                _enqueue(message)
             else:
                 _enqueue(message)
                 if kind == "stop":
                     return
 
     threading.Thread(target=_listen, daemon=True).start()
+
+    #: Unfired injected crash points, ordered; compared against the count of
+    #: jobs this incarnation has executed.
+    pending_crashes = sorted(
+        point for point in context.crash_after if point not in context.fired_crashes
+    )
+    jobs_executed = 0
 
     while True:
         with ready:
@@ -278,14 +334,45 @@ def _worker_main(context: WorkerContext, inbox, outbox) -> None:
                 )
             )
             continue
-        _, job_id, device, task, theta, submit_time, theta_version, count, predicted = item
+        if kind == "replay":
+            _, job_id, device, task, theta, submit_time, theta_version = item
+            try:
+                count = runtime.objective.circuits_per_job(task)
+                predicted = runtime.predict_finish(device, count, submit_time)
+            except Exception as exc:
+                outbox.put(
+                    (
+                        "error",
+                        job_id,
+                        context.worker_id,
+                        type(exc).__name__,
+                        traceback.format_exc(),
+                    )
+                )
+                return
+            outbox.put(("timing", job_id, predicted, count))
+        else:
+            _, job_id, device, task, theta, submit_time, theta_version, count, predicted = item
         try:
             outcome = runtime.execute(
                 device, task, theta, submit_time, theta_version, count, predicted
             )
-        except Exception:
-            outbox.put(("error", job_id, traceback.format_exc()))
+        except Exception as exc:
+            outbox.put(
+                (
+                    "error",
+                    job_id,
+                    context.worker_id,
+                    type(exc).__name__,
+                    traceback.format_exc(),
+                )
+            )
             return
+        jobs_executed += 1
+        if pending_crashes and jobs_executed >= pending_crashes[0]:
+            # Injected crash: die *before* the outcome ships, so recovery
+            # always has work to replay (never just the happy path).
+            os._exit(_CRASH_EXIT_CODE)
         outbox.put(("outcome", job_id, outcome))
 
 
@@ -313,6 +400,8 @@ class ParallelEnsembleExecutor:
         client_names: Sequence[str] | None = None,
         start_method: str | None = None,
         telemetry: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+        response_timeout_seconds: float | None = _DEFAULT_RESPONSE_TIMEOUT_SECONDS,
     ) -> None:
         qpus = list(qpus)
         if not qpus:
@@ -325,6 +414,16 @@ class ParallelEnsembleExecutor:
             client_names = [f"client_{name}" for name in self.device_names]
         if len(client_names) != len(qpus):
             raise ValueError("client_names must align with the fleet")
+        if response_timeout_seconds is not None and response_timeout_seconds <= 0:
+            raise ValueError("response_timeout_seconds must be positive")
+        self.response_timeout_seconds = response_timeout_seconds
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        for crash in self._fault_plan.worker_crashes:
+            if crash.worker_id >= self.num_workers:
+                raise ValueError(
+                    f"crash targets worker {crash.worker_id} but the pool has "
+                    f"only {self.num_workers} workers"
+                )
 
         #: Whether workers collect telemetry (default: mirror the master's
         #: state at construction time, so ``TELEMETRY.enable()`` before
@@ -333,8 +432,10 @@ class ParallelEnsembleExecutor:
             _telemetry.enabled if telemetry is None else bool(telemetry)
         )
 
-        context = mp.get_context(start_method) if start_method else mp.get_context()
-        self._outbox = context.Queue()
+        self._mp_context = (
+            mp.get_context(start_method) if start_method else mp.get_context()
+        )
+        self._outbox = self._mp_context.Queue()
         self._device_worker: dict[str, int] = {}
         assignments: list[list[tuple[QPUSpec, str]]] = [
             [] for _ in range(self.num_workers)
@@ -344,28 +445,26 @@ class ParallelEnsembleExecutor:
             assignments[worker_id].append((qpu.spec, str(client_name)))
             self._device_worker[qpu.name] = worker_id
 
-        self._inboxes = []
-        self._processes = []
+        self._contexts: list[WorkerContext] = []
+        self._inboxes: list = []
+        self._processes: list = []
         for worker_id, assigned in enumerate(assignments):
-            worker_context = WorkerContext(
-                objective=objective,
-                qpu_specs=tuple(spec for spec, _ in assigned),
-                client_names=tuple(name for _, name in assigned),
-                queue_models=dict(queue_models) if queue_models else None,
-                seed=int(seed),
-                shots=int(shots),
-                worker_id=worker_id,
-                telemetry_enabled=self.telemetry_enabled,
+            self._contexts.append(
+                WorkerContext(
+                    objective=objective,
+                    qpu_specs=tuple(spec for spec, _ in assigned),
+                    client_names=tuple(name for _, name in assigned),
+                    queue_models=dict(queue_models) if queue_models else None,
+                    seed=int(seed),
+                    shots=int(shots),
+                    worker_id=worker_id,
+                    telemetry_enabled=self.telemetry_enabled,
+                    crash_after=self._fault_plan.crash_points_for(worker_id),
+                )
             )
-            inbox = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(worker_context, inbox, self._outbox),
-                daemon=True,
-            )
-            process.start()
-            self._inboxes.append(inbox)
-            self._processes.append(process)
+            self._inboxes.append(None)
+            self._processes.append(None)
+            self._spawn(worker_id)
 
         self._next_job_id = 0
         self._timings: dict[int, tuple[float, int]] = {}
@@ -374,6 +473,29 @@ class ParallelEnsembleExecutor:
         self._telemetry_payloads: dict[int, tuple[dict, dict]] = {}
         self._stopped: set[int] = set()
         self._closed = False
+        #: Every job message ever sent, per worker, in send order — the
+        #: replay script for a respawned worker (per-device state is a pure
+        #: function of the job sequence, so replay reconstructs it exactly).
+        self._job_log: list[list[tuple]] = [[] for _ in range(self.num_workers)]
+        #: Job ids whose timing preview / outcome was already consumed, so a
+        #: replay's duplicate messages are dropped on arrival.
+        self._previewed: set[int] = set()
+        self._collected: set[int] = set()
+        self._job_worker: dict[int, int] = {}
+        #: Injected-crash recoveries, in occurrence order (metadata/benches).
+        self.crash_events: list[dict] = []
+
+    def _spawn(self, worker_id: int) -> None:
+        """(Re)start one worker process from its stored context."""
+        inbox = self._mp_context.Queue()
+        process = self._mp_context.Process(
+            target=_worker_main,
+            args=(self._contexts[worker_id], inbox, self._outbox),
+            daemon=True,
+        )
+        process.start()
+        self._inboxes[worker_id] = inbox
+        self._processes[worker_id] = process
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ParallelEnsembleExecutor":
@@ -400,24 +522,35 @@ class ParallelEnsembleExecutor:
             raise KeyError(f"unknown device {device_name!r}")
         job_id = self._next_job_id
         self._next_job_id += 1
-        self._inboxes[self._device_worker[device_name]].put(
-            (
-                "job",
-                job_id,
-                device_name,
-                task,
-                np.asarray(theta, dtype=float),
-                float(submit_time),
-                int(theta_version),
-            )
+        worker_id = self._device_worker[device_name]
+        message = (
+            "job",
+            job_id,
+            device_name,
+            task,
+            np.asarray(theta, dtype=float),
+            float(submit_time),
+            int(theta_version),
         )
-        self._wait(lambda: job_id in self._timings)
+        self._job_log[worker_id].append(message)
+        self._job_worker[job_id] = worker_id
+        self._inboxes[worker_id].put(message)
+        self._wait(
+            lambda: job_id in self._timings,
+            waiting_for=f"timing preview from worker {worker_id} "
+            f"for job {job_id} on {device_name!r}",
+        )
         finish_time, num_circuits = self._timings.pop(job_id)
         return job_id, finish_time, num_circuits
 
     def collect(self, job_id: int) -> GradientOutcome:
         """Block until the worker's simulation of ``job_id`` completes."""
-        self._wait(lambda: job_id in self._outcomes)
+        worker_id = self._job_worker.get(job_id)
+        self._wait(
+            lambda: job_id in self._outcomes,
+            waiting_for=f"outcome of job {job_id} from worker {worker_id}",
+        )
+        self._collected.add(job_id)
         return self._outcomes.pop(job_id)
 
     def utilization_report(self) -> dict[str, dict[str, float]]:
@@ -491,34 +624,92 @@ class ParallelEnsembleExecutor:
             channel.cancel_join_thread()
 
     # ------------------------------------------------------------------
-    def _wait(self, predicate) -> None:
+    def _wait(self, predicate, *, waiting_for: str = "") -> None:
         """Pump worker messages until ``predicate`` holds.
 
-        Raises ``RuntimeError`` when a worker reports an exception or dies
-        without reporting.
+        A worker that died with the injected-crash exit code and has an
+        unfired crash point is respawned and its job log replayed; any other
+        death — or a worker silent past ``response_timeout_seconds`` — raises
+        a ``RuntimeError`` naming the worker.  Structured job errors are
+        re-raised as :class:`WorkerJobError`.
         """
         if self._closed:
             raise RuntimeError("the executor is shut down")
+        silent_seconds = 0.0
         while not predicate():
             try:
                 message = self._outbox.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
                 for worker_id, process in enumerate(self._processes):
                     if not process.is_alive() and worker_id not in self._stopped:
-                        raise RuntimeError(
-                            f"parallel worker {worker_id} died "
-                            f"(exit code {process.exitcode})"
-                        )
+                        if self._can_respawn(worker_id):
+                            self._respawn(worker_id)
+                        else:
+                            raise RuntimeError(
+                                f"parallel worker {worker_id} died "
+                                f"(exit code {process.exitcode})"
+                            )
+                silent_seconds += _POLL_SECONDS
+                if (
+                    self.response_timeout_seconds is not None
+                    and silent_seconds >= self.response_timeout_seconds
+                ):
+                    detail = waiting_for or "a worker response"
+                    raise RuntimeError(
+                        f"timed out after {self.response_timeout_seconds:.0f}s "
+                        f"waiting for {detail} (worker unresponsive)"
+                    )
                 continue
+            silent_seconds = 0.0
             self._route(message)
+
+    def _can_respawn(self, worker_id: int) -> bool:
+        """Only an injected crash with an unfired crash point is recoverable."""
+        process = self._processes[worker_id]
+        if process.exitcode != _CRASH_EXIT_CODE:
+            return False
+        context = self._contexts[worker_id]
+        return any(
+            point not in context.fired_crashes for point in context.crash_after
+        )
+
+    def _respawn(self, worker_id: int) -> None:
+        """Restart a crashed worker and replay its full job log.
+
+        The smallest unfired crash point is marked fired in the replacement
+        context (the crash that just happened), so the new incarnation
+        replays straight through it.  Replayed jobs regenerate timing and
+        outcome messages; ``_route`` drops the ones already consumed.
+        """
+        context = self._contexts[worker_id]
+        fired = min(
+            point for point in context.crash_after
+            if point not in context.fired_crashes
+        )
+        context = dataclasses.replace(
+            context, fired_crashes=context.fired_crashes + (fired,)
+        )
+        self._contexts[worker_id] = context
+        self.crash_events.append({"worker_id": worker_id, "after_jobs": fired})
+        if self.telemetry_enabled:
+            _telemetry.registry.counter("faults.worker_crashes").inc()
+            _telemetry.registry.counter("faults.worker_respawns").inc()
+        self._spawn(worker_id)
+        for message in self._job_log[worker_id]:
+            self._inboxes[worker_id].put(("replay", *message[1:]))
 
     def _route(self, message: tuple) -> None:
         kind = message[0]
         if kind == "timing":
             _, job_id, finish_time, num_circuits = message
+            if job_id in self._previewed:
+                return  # duplicate from a replayed job
+            self._previewed.add(job_id)
             self._timings[job_id] = (float(finish_time), int(num_circuits))
         elif kind == "outcome":
             _, job_id, outcome = message
+            if job_id in self._collected or job_id in self._outcomes:
+                return  # duplicate from a replayed job
             self._outcomes[job_id] = outcome
         elif kind == "report":
             _, worker_id, report = message
@@ -529,9 +720,13 @@ class ParallelEnsembleExecutor:
         elif kind == "stopped":
             self._stopped.add(message[1])
         elif kind == "error":
-            _, job_id, text = message
-            raise RuntimeError(
-                f"parallel worker failed while serving job {job_id}:\n{text}"
+            _, job_id, worker_id, exc_type, text = message
+            raise WorkerJobError(
+                f"parallel worker {worker_id} failed while serving job "
+                f"{job_id} ({exc_type}):\n{text}",
+                worker_id=worker_id,
+                job_id=job_id,
+                exc_type=exc_type,
             )
         else:  # pragma: no cover - defensive against protocol drift
             raise RuntimeError(f"unknown worker message {kind!r}")

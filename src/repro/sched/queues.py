@@ -17,6 +17,7 @@ channel through which device weather shapes tenant-visible latency.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -142,6 +143,9 @@ class DeviceServiceQueue:
         #: End of the latest calibration window (0 when never down).
         self.downtime_until = 0.0
         self.downtime_windows: list[DowntimeWindow] = []
+        #: Injected outage windows (fault layer), kept apart from the
+        #: physics-driven calibration windows for accounting.
+        self.outage_windows: list[DowntimeWindow] = []
 
         self.completed: list[SchedJob] = []
         self.jobs_rejected = 0
@@ -149,6 +153,7 @@ class DeviceServiceQueue:
         #: Accumulated service per tenant (what fair-share policies consume).
         self.service_given: dict[str, float] = {}
         self._wakeup: Event | None = None
+        self._service_event: Event | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -216,7 +221,69 @@ class DeviceServiceQueue:
             priority=EVENT_PRIORITY["downtime"],
             kind="downtime",
         )
-        if self.in_service is None and self.waiting:
+        if (
+            self.in_service is None
+            and self.waiting
+            and math.isfinite(self.downtime_until)
+        ):
+            self._ensure_wakeup(self.downtime_until)
+
+    # ------------------------------------------------------------------
+    # injected outages (fault layer)
+    # ------------------------------------------------------------------
+    def inject_outage(
+        self, start: float, duration: float = float("inf"), permanent: bool = False
+    ) -> None:
+        """Arm one injected outage window beginning at ``start``.
+
+        ``permanent=True`` (or an infinite duration) takes the device down
+        for good.  Unlike calibration downtime, an outage *preempts*: a job
+        in service when the window opens is cut and requeued at the head of
+        the waiting list, to restart from scratch once the device returns.
+        """
+        if start < 0:
+            raise ValueError("outage start must be non-negative")
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        if permanent:
+            duration = float("inf")
+        self.kernel.schedule(
+            float(start),
+            lambda now, d=float(duration): self._begin_outage(now, d),
+            priority=EVENT_PRIORITY["downtime"],
+            kind="outage",
+        )
+
+    def _begin_outage(self, now: float, duration: float) -> None:
+        self.downtime_until = max(self.downtime_until, now + duration)
+        self.outage_windows.append(DowntimeWindow(start=now, duration=duration))
+        preempted = self.in_service
+        if preempted is not None:
+            # Cut the running job: cancel its completion, rewind its state,
+            # and requeue it at the head so it restarts first on recovery.
+            if self._service_event is not None:
+                self._service_event.cancel()
+                self._service_event = None
+            preempted.start_time = None
+            preempted.service_seconds = 0.0
+            self.waiting.insert(0, preempted)
+            self.in_service = None
+            self.free_at = now
+        if _telemetry.enabled:
+            _telemetry.registry.counter("faults.outages", device=self.name).inc()
+            _telemetry.tracer.add_sim_span(
+                "outage",
+                "sched.downtime",
+                f"{self.name} downtime",
+                now,
+                duration if math.isfinite(duration) else 0.0,
+                args={"permanent": not math.isfinite(duration)},
+            )
+        if (
+            self.waiting
+            and self.in_service is None
+            and math.isfinite(self.downtime_until)
+        ):
             self._ensure_wakeup(self.downtime_until)
 
     # ------------------------------------------------------------------
@@ -247,7 +314,8 @@ class DeviceServiceQueue:
         if self.in_service is not None or not self.waiting:
             return
         if now < self.downtime_until:
-            self._ensure_wakeup(self.downtime_until)
+            if math.isfinite(self.downtime_until):
+                self._ensure_wakeup(self.downtime_until)
             return
         index = self.policy.next_job(self.waiting, self, now)
         job = self.waiting.pop(index)
@@ -256,7 +324,7 @@ class DeviceServiceQueue:
         duration = self._service_duration(job, now)
         job.service_seconds = duration
         self.free_at = now + duration
-        self.kernel.schedule(
+        self._service_event = self.kernel.schedule(
             self.free_at,
             lambda t, job=job: self._complete(job, t),
             priority=EVENT_PRIORITY["service_complete"],
@@ -266,6 +334,7 @@ class DeviceServiceQueue:
     def _complete(self, job: SchedJob, now: float) -> None:
         job.finish_time = now
         self.in_service = None
+        self._service_event = None
         self.completed.append(job)
         self.busy_seconds += job.service_seconds
         self.service_given[job.tenant] = (

@@ -154,6 +154,43 @@ class CloudScheduler:
         self.queues[target].on_arrival(job, now)
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_outage(
+        self,
+        device_name: str,
+        start: float,
+        duration: float = float("inf"),
+        permanent: bool = False,
+    ) -> None:
+        """Arm one injected outage on a registered device.
+
+        The outage preempts any job in service when it opens (the job is
+        requeued at the head of the waiting list) and holds the device shut
+        until the window closes — forever, when permanent.
+        """
+        if device_name not in self.queues:
+            raise KeyError(f"unknown device {device_name!r}")
+        self.queues[device_name].inject_outage(
+            start, duration=duration, permanent=permanent
+        )
+
+    def apply_fault_plan(self, plan) -> None:
+        """Arm every outage window of a :class:`~repro.faults.FaultPlan`.
+
+        Only outages translate onto the kernel path — transient failures and
+        result timeouts belong to the provider's statistical fault path (the
+        two regimes are mutually exclusive by construction).
+        """
+        for window in plan.outages:
+            self.inject_outage(
+                window.device,
+                window.start,
+                duration=window.duration,
+                permanent=window.permanent,
+            )
+
+    # ------------------------------------------------------------------
     def run_until_complete(self, job: SchedJob) -> SchedJob:
         """Advance the kernel exactly until ``job``'s completion event fires."""
         self.kernel.run_until(lambda: job.done)
@@ -198,6 +235,7 @@ class CloudScheduler:
                 "busy_seconds": queue.busy_seconds,
                 "downtime_windows": len(queue.downtime_windows),
                 "downtime_seconds": sum(w.duration for w in queue.downtime_windows),
+                "outage_windows": len(queue.outage_windows),
             }
             for name, queue in self.queues.items()
         }

@@ -1,0 +1,139 @@
+"""Hardening of the parallel executor: structured errors, timeouts, crashes."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective
+from repro.devices import build_qpu
+from repro.execution import ParallelEnsembleExecutor, WorkerJobError
+from repro.faults import FaultPlan, WorkerCrash
+from repro.hamiltonian.expectation import EnergyEstimator
+from repro.vqa.tasks import GradientTask
+
+
+def make_executor(vqe_problem, **kwargs):
+    estimator = EnergyEstimator(vqe_problem.ansatz, vqe_problem.hamiltonian)
+    kwargs.setdefault("num_workers", 1)
+    kwargs.setdefault("seed", 1)
+    kwargs.setdefault("shots", 128)
+    return ParallelEnsembleExecutor(
+        EnergyObjective(estimator), [build_qpu("x2")], **kwargs
+    )
+
+
+def num_parameters(vqe_problem):
+    return EnergyEstimator(
+        vqe_problem.ansatz, vqe_problem.hamiltonian
+    ).num_parameters
+
+
+class TestConstructionGuards:
+    def test_response_timeout_must_be_positive(self, vqe_problem):
+        with pytest.raises(ValueError, match="response_timeout_seconds"):
+            make_executor(vqe_problem, response_timeout_seconds=0.0)
+
+    def test_crash_target_must_be_in_pool(self, vqe_problem):
+        with pytest.raises(ValueError, match="crash targets worker"):
+            make_executor(
+                vqe_problem,
+                fault_plan=FaultPlan(worker_crashes=(WorkerCrash(5, 1),)),
+            )
+
+
+class TestStructuredJobErrors:
+    def test_worker_exception_reraised_with_coordinates(self, vqe_problem):
+        executor = make_executor(vqe_problem)
+        theta = np.zeros(num_parameters(vqe_problem))
+        bad_task = GradientTask(task_id=0, parameter_index=10_000)
+        try:
+            with pytest.raises(WorkerJobError) as excinfo:
+                job_id, _, _ = executor.submit("x2", bad_task, theta, 0.0, 0)
+                executor.collect(job_id)
+            assert excinfo.value.worker_id == 0
+            assert excinfo.value.job_id >= 0
+            assert excinfo.value.exc_type
+            # The worker-side traceback rides along in the message.
+            assert "Traceback" in str(excinfo.value)
+        finally:
+            executor.shutdown()
+
+    def test_healthy_job_unaffected(self, vqe_problem):
+        executor = make_executor(vqe_problem)
+        theta = np.zeros(num_parameters(vqe_problem))
+        task = GradientTask(task_id=0, parameter_index=0)
+        try:
+            job_id, finish_time, num_circuits = executor.submit(
+                "x2", task, theta, 0.0, 0
+            )
+            outcome = executor.collect(job_id)
+            assert finish_time > 0.0
+            assert num_circuits >= 1
+            assert outcome.finish_time == finish_time
+        finally:
+            executor.shutdown()
+
+
+class TestUnresponsiveWorkers:
+    def test_timeout_names_what_the_master_waited_for(self, vqe_problem):
+        executor = make_executor(vqe_problem, response_timeout_seconds=1.0)
+        theta = np.zeros(num_parameters(vqe_problem))
+        task = GradientTask(task_id=0, parameter_index=0)
+        process = executor._processes[0]
+        try:
+            os.kill(process.pid, signal.SIGSTOP)
+            with pytest.raises(RuntimeError, match="worker unresponsive"):
+                executor.submit("x2", task, theta, 0.0, 0)
+            with pytest.raises(RuntimeError, match="timing preview from worker 0"):
+                executor.submit("x2", task, theta, 1.0, 0)
+        finally:
+            os.kill(process.pid, signal.SIGCONT)
+            executor.shutdown()
+
+    def test_uninjected_death_is_fatal_and_named(self, vqe_problem):
+        executor = make_executor(vqe_problem)
+        theta = np.zeros(num_parameters(vqe_problem))
+        task = GradientTask(task_id=0, parameter_index=0)
+        try:
+            process = executor._processes[0]
+            process.kill()
+            process.join(timeout=10.0)
+            with pytest.raises(RuntimeError, match="parallel worker 0 died"):
+                executor.submit("x2", task, theta, 0.0, 0)
+        finally:
+            executor.shutdown()
+
+
+class TestCrashRecovery:
+    def _train(self, problem, *, workers, fault_plan=None, epochs=2):
+        estimator = EnergyEstimator(problem.ansatz, problem.hamiltonian)
+        config = EQCConfig(
+            device_names=("x2", "Belem", "Bogota"),
+            shots=256,
+            seed=1,
+            parallel_workers=workers,
+            fault_plan=fault_plan,
+        )
+        ensemble = EQCEnsemble.for_estimator(estimator, config)
+        theta0 = np.zeros(estimator.num_parameters)
+        return ensemble.train(theta0, num_epochs=epochs)
+
+    def test_injected_crash_respawns_and_stays_bit_exact(self, vqe_problem):
+        reference = self._train(vqe_problem, workers=0)
+        plan = FaultPlan(worker_crashes=(WorkerCrash(0, 3),))
+        recovered = self._train(vqe_problem, workers=2, fault_plan=plan)
+        assert recovered.metadata["worker_crashes"] == [
+            {"worker_id": 0, "after_jobs": 3}
+        ]
+        assert len(recovered.records) == len(reference.records)
+        for expected, actual in zip(reference.records, recovered.records):
+            assert actual.loss == expected.loss
+            assert np.array_equal(actual.parameters, expected.parameters)
+            assert actual.sim_time_hours == expected.sim_time_hours
+            assert actual.weights == expected.weights
+        assert (
+            recovered.metadata["utilization"] == reference.metadata["utilization"]
+        )

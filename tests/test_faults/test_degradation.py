@@ -1,0 +1,166 @@
+"""End-to-end graceful-degradation tests for the fault-tolerant ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective
+from repro.core.weighting import BOUNDS_MODERATE
+from repro.faults import (
+    FaultPlan,
+    FleetExhaustedError,
+    OutageWindow,
+    RetryPolicy,
+    WorkerCrash,
+)
+
+DEVICES = ("x2", "Belem", "Bogota")
+
+
+def make_config(**kwargs):
+    kwargs.setdefault("device_names", DEVICES)
+    kwargs.setdefault("shots", 256)
+    kwargs.setdefault("seed", 1)
+    kwargs.setdefault("weight_bounds", BOUNDS_MODERATE)
+    return EQCConfig(**kwargs)
+
+
+def train(vqe_problem, config, epochs=2):
+    ensemble = EQCEnsemble(EnergyObjective(vqe_problem.estimator), config)
+    theta = vqe_problem.random_initial_parameters()
+    return ensemble.train(theta, num_epochs=epochs)
+
+
+def assert_histories_identical(reference, candidate):
+    assert len(candidate.records) == len(reference.records)
+    for expected, actual in zip(reference.records, candidate.records):
+        assert actual.loss == expected.loss
+        assert np.array_equal(actual.parameters, expected.parameters)
+        assert actual.sim_time_hours == expected.sim_time_hours
+        assert actual.weights == expected.weights
+
+
+CHAOS_PLAN = FaultPlan(
+    seed=11,
+    transient_failure_rate=0.3,
+    outages=(OutageWindow(device="Bogota", start=0.0, permanent=True),),
+)
+
+
+class TestConfigValidation:
+    def test_device_faults_with_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="inject_outage"):
+            make_config(
+                fault_plan=FaultPlan(transient_failure_rate=0.1),
+                scheduling_policy="fifo",
+            )
+
+    def test_device_faults_with_parallel_workers_rejected(self):
+        with pytest.raises(ValueError, match="worker_crashes"):
+            make_config(
+                fault_plan=FaultPlan(transient_failure_rate=0.1), parallel_workers=2
+            )
+
+    def test_worker_crashes_require_parallel_workers(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            make_config(fault_plan=FaultPlan(worker_crashes=(WorkerCrash(0, 3),)))
+
+    def test_retry_policy_requires_fault_plan(self):
+        with pytest.raises(ValueError, match="retry_policy"):
+            make_config(retry_policy=RetryPolicy())
+
+    def test_dispatch_deadline_positive(self):
+        with pytest.raises(ValueError):
+            make_config(dispatch_deadline=0.0)
+
+    def test_min_live_devices_bounds(self):
+        with pytest.raises(ValueError):
+            make_config(min_live_devices=0)
+        with pytest.raises(ValueError):
+            make_config(min_live_devices=len(DEVICES) + 1)
+
+    def test_fault_tolerant_property(self):
+        assert not make_config().fault_tolerant
+        assert make_config(fault_plan=CHAOS_PLAN).fault_tolerant
+        assert make_config(dispatch_deadline=3600.0).fault_tolerant
+        assert not make_config(fault_plan=FaultPlan()).fault_tolerant
+
+
+class TestBitExactWhenDisabled:
+    def test_disabled_plan_matches_no_plan(self, vqe_problem):
+        baseline = train(vqe_problem, make_config())
+        gated = train(vqe_problem, make_config(fault_plan=FaultPlan()))
+        assert_histories_identical(baseline, gated)
+        # Disabled faults leave the metadata footprint untouched too.
+        assert "fleet_events" not in gated.metadata
+        assert "provider_faults" not in gated.metadata
+
+
+class TestGracefulDegradation:
+    @pytest.fixture(scope="class")
+    def chaos_history(self, vqe_problem):
+        return train(vqe_problem, make_config(fault_plan=CHAOS_PLAN))
+
+    def test_training_completes_on_survivors(self, chaos_history):
+        assert len(chaos_history.records) == 2
+        assert np.isfinite(chaos_history.losses).all()
+        assert chaos_history.metadata["live_devices"] == ["x2", "Belem"]
+
+    def test_fleet_shrink_event_recorded(self, chaos_history):
+        kinds = [event["kind"] for event in chaos_history.metadata["fleet_events"]]
+        assert "job_failure" in kinds
+        assert "fleet_shrink" in kinds
+        shrink = next(
+            event
+            for event in chaos_history.metadata["fleet_events"]
+            if event["kind"] == "fleet_shrink"
+        )
+        assert shrink["device"] == "Bogota"
+        assert chaos_history.metadata["fault_stats"]["retired_devices"] == 1
+
+    def test_weights_renormalized_over_survivors(self, chaos_history):
+        final_weights = chaos_history.records[-1].weights
+        assert set(final_weights) == {"client_x2", "client_Belem"}
+        # PCorrect weights are normalized to mean 1 over the live fleet.
+        assert sum(final_weights.values()) == pytest.approx(len(final_weights))
+
+    def test_fault_metadata_published(self, chaos_history):
+        assert chaos_history.metadata["fault_plan"]["transient_failure_rate"] == 0.3
+        provider_faults = chaos_history.metadata["provider_faults"]
+        assert provider_faults["job_failures"] >= 1
+        assert provider_faults["transient_failures"] >= 1
+
+    def test_chaos_run_deterministic(self, vqe_problem, chaos_history):
+        repeat = train(vqe_problem, make_config(fault_plan=CHAOS_PLAN))
+        assert_histories_identical(chaos_history, repeat)
+        assert repeat.metadata["provider_faults"] == (
+            chaos_history.metadata["provider_faults"]
+        )
+        assert repeat.metadata["fleet_events"] == (
+            chaos_history.metadata["fleet_events"]
+        )
+        assert repeat.metadata["breakers"] == chaos_history.metadata["breakers"]
+
+    def test_loss_stays_close_to_fault_free_run(self, vqe_problem, chaos_history):
+        baseline = train(vqe_problem, make_config())
+        gap = abs(chaos_history.records[-1].loss - baseline.records[-1].loss)
+        assert gap < 0.5
+
+
+class TestFleetExhaustion:
+    def test_all_devices_dead_raises(self, vqe_problem):
+        plan = FaultPlan(
+            outages=tuple(
+                OutageWindow(device=name, start=0.0, permanent=True)
+                for name in DEVICES
+            )
+        )
+        with pytest.raises(FleetExhaustedError):
+            train(vqe_problem, make_config(fault_plan=plan))
+
+    def test_min_live_devices_floor_enforced(self, vqe_problem):
+        plan = FaultPlan(
+            outages=(OutageWindow(device="Bogota", start=0.0, permanent=True),)
+        )
+        with pytest.raises(FleetExhaustedError):
+            train(vqe_problem, make_config(fault_plan=plan, min_live_devices=3))

@@ -1,0 +1,102 @@
+"""Tests for the deterministic fault injector's seeded streams."""
+
+from repro.faults import FaultInjector, FaultPlan, OutageWindow
+
+
+def make_injector(seed=0, **plan_kwargs):
+    plan_kwargs.setdefault("transient_failure_rate", 0.5)
+    return FaultInjector(FaultPlan(**plan_kwargs), seed=seed)
+
+
+class TestStreams:
+    def test_same_label_same_stream_instance(self):
+        injector = make_injector()
+        assert injector.stream("a") is injector.stream("a")
+
+    def test_streams_reproducible_across_injectors(self):
+        a = make_injector(seed=7)
+        b = make_injector(seed=7)
+        assert [a.stream("x").uniform() for _ in range(5)] == [
+            b.stream("x").uniform() for _ in range(5)
+        ]
+
+    def test_streams_independent_per_label(self):
+        injector = make_injector()
+        first = [injector.stream("x").uniform() for _ in range(5)]
+        # Consuming another label's stream must not shift this one.
+        fresh = make_injector()
+        for _ in range(100):
+            fresh.stream("y").uniform()
+        second = [fresh.stream("x").uniform() for _ in range(5)]
+        assert first == second
+
+    def test_seed_and_plan_seed_both_matter(self):
+        base = make_injector(seed=1).stream("x").uniform()
+        assert make_injector(seed=2).stream("x").uniform() != base
+        other_plan = FaultInjector(
+            FaultPlan(seed=9, transient_failure_rate=0.5), seed=1
+        )
+        assert other_plan.stream("x").uniform() != base
+
+
+class TestDecisionDraws:
+    def test_zero_rate_never_draws(self):
+        injector = FaultInjector(
+            FaultPlan(outages=(OutageWindow(device="Belem"),)), seed=0
+        )
+        for _ in range(10):
+            assert not injector.transient_failure("Belem")
+            assert injector.result_delay("Belem") == 0.0
+        # No decision stream was ever created.
+        assert not any("transient" in label for label in injector._streams)
+        assert not any("timeout" in label for label in injector._streams)
+
+    def test_transient_rate_approximately_respected(self):
+        injector = make_injector(transient_failure_rate=0.3)
+        draws = [injector.transient_failure("Belem") for _ in range(2000)]
+        assert 0.2 < sum(draws) / len(draws) < 0.4
+
+    def test_per_device_draws_independent(self):
+        a = make_injector()
+        b = make_injector()
+        first = [a.transient_failure("x") for _ in range(20)]
+        for _ in range(100):
+            b.transient_failure("other")
+        second = [b.transient_failure("x") for _ in range(20)]
+        assert first == second
+
+    def test_result_delay_size(self):
+        injector = FaultInjector(
+            FaultPlan(result_timeout_rate=0.999, result_delay_seconds=123.0), seed=0
+        )
+        assert injector.result_delay("Belem") == 123.0
+
+
+class TestWindowLookups:
+    def test_outage_at(self):
+        plan = FaultPlan(
+            outages=(OutageWindow(device="Belem", start=10.0, duration=20.0),)
+        )
+        injector = FaultInjector(plan)
+        assert injector.outage_at("Belem", 15.0) is plan.outages[0]
+        assert injector.outage_at("Belem", 35.0) is None
+        assert injector.outage_at("Bogota", 15.0) is None
+
+    def test_device_dead_only_after_permanent_start(self):
+        plan = FaultPlan(
+            outages=(OutageWindow(device="Belem", start=100.0, permanent=True),)
+        )
+        injector = FaultInjector(plan)
+        assert not injector.device_dead("Belem", 99.0)
+        assert injector.device_dead("Belem", 100.0)
+        assert injector.device_dead("Belem", 1e9)
+
+    def test_calibration_blackout_at(self):
+        plan = FaultPlan(
+            calibration_blackouts=(
+                OutageWindow(device="Belem", start=50.0, duration=10.0),
+            )
+        )
+        injector = FaultInjector(plan)
+        assert injector.calibration_blackout_at("Belem", 55.0) is not None
+        assert injector.calibration_blackout_at("Belem", 65.0) is None

@@ -1,0 +1,204 @@
+"""Tests for fault injection on the provider's statistical submit path."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import ghz_state
+from repro.cloud.provider import CloudProvider
+from repro.devices.catalog import build_qpu
+from repro.faults import (
+    DeviceOutageError,
+    FaultInjector,
+    FaultPlan,
+    JobDeadlineExceeded,
+    JobRetriesExhausted,
+    OutageWindow,
+    RetryPolicy,
+)
+from repro.transpiler import transpile
+
+
+@pytest.fixture()
+def belem_job_inputs():
+    qpu = build_qpu("Belem")
+    circuit = ghz_state(4)
+    footprint = transpile(circuit, qpu.topology).footprint
+    return circuit, footprint
+
+
+def make_provider(plan=None, retry_policy=None, seed=1):
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    return CloudProvider(
+        [build_qpu("Belem"), build_qpu("Bogota")],
+        seed=seed,
+        shots=256,
+        fault_injector=injector,
+        retry_policy=retry_policy,
+    )
+
+
+def submit_one(provider, inputs, now=0.0):
+    circuit, footprint = inputs
+    return provider.submit("Belem", [circuit, circuit], footprint, now=now)
+
+
+class TestBitExactWhenDisabled:
+    def test_disabled_plan_matches_no_plan(self, belem_job_inputs):
+        plain = make_provider()
+        gated = make_provider(plan=FaultPlan())
+        for now in (0.0, 100.0, 5000.0):
+            a = submit_one(plain, belem_job_inputs, now=now)
+            b = submit_one(gated, belem_job_inputs, now=now)
+            assert a.start_time == b.start_time
+            assert a.finish_time == b.finish_time
+            assert [dict(r.counts) for r in a.results] == [
+                dict(r.counts) for r in b.results
+            ]
+
+    def test_recovered_job_still_produces_full_results(self, belem_job_inputs):
+        # Rate chosen so the Belem transient stream fails at least once but
+        # recovers within the retry budget (verified by the retries counter).
+        chaotic = make_provider(
+            plan=FaultPlan(seed=5, transient_failure_rate=0.45),
+            retry_policy=RetryPolicy(max_attempts=10, jitter_fraction=0.0),
+        )
+        job = submit_one(chaotic, belem_job_inputs)
+        assert chaotic.fault_counters["transient_failures"] >= 1
+        assert job.attempts > 1
+        assert job.status.value == "done"
+        assert len(job.results) == 2
+        assert all(sum(r.counts.values()) == 256 for r in job.results)
+
+
+class TestTransientFailures:
+    def test_retries_exhausted(self, belem_job_inputs):
+        provider = make_provider(
+            plan=FaultPlan(transient_failure_rate=0.999),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(JobRetriesExhausted) as excinfo:
+            submit_one(provider, belem_job_inputs)
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.device_name == "Belem"
+        assert excinfo.value.detect_time > 0.0
+        assert provider.fault_counters["transient_failures"] == 3
+        assert provider.fault_counters["retries"] == 2
+        assert provider.fault_counters["job_failures"] == 1
+
+    def test_backoff_advances_virtual_time(self, belem_job_inputs):
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff_seconds=100.0, jitter_fraction=0.0
+        )
+        provider = make_provider(
+            plan=FaultPlan(seed=5, transient_failure_rate=0.45), retry_policy=policy
+        )
+        job = submit_one(provider, belem_job_inputs)
+        retries = provider.fault_counters["retries"]
+        assert retries >= 1
+        # Every retry pushes the eventual start past at least its backoff.
+        assert job.start_time >= 100.0 * retries
+
+    def test_deadline_exceeded_during_backoff(self, belem_job_inputs):
+        provider = make_provider(
+            plan=FaultPlan(transient_failure_rate=0.999),
+            retry_policy=RetryPolicy(
+                max_attempts=50, base_backoff_seconds=500.0, deadline_seconds=600.0
+            ),
+        )
+        with pytest.raises(JobDeadlineExceeded) as excinfo:
+            submit_one(provider, belem_job_inputs)
+        assert excinfo.value.detect_time == 600.0
+
+
+class TestOutages:
+    def test_transient_outage_defers_start(self, belem_job_inputs):
+        window = OutageWindow(device="Belem", start=0.0, duration=10_000.0)
+        provider = make_provider(plan=FaultPlan(outages=(window,)))
+        job = submit_one(provider, belem_job_inputs)
+        assert job.start_time >= 10_000.0
+        assert provider.fault_counters["outage_deferrals"] == 1
+        assert job.status.value == "done"
+
+    def test_permanent_outage_kills_device(self, belem_job_inputs):
+        provider = make_provider(
+            plan=FaultPlan(
+                outages=(OutageWindow(device="Belem", start=0.0, permanent=True),)
+            )
+        )
+        with pytest.raises(DeviceOutageError) as excinfo:
+            submit_one(provider, belem_job_inputs)
+        assert excinfo.value.permanent
+        assert "Belem" in provider.dead_devices
+        # Subsequent submissions fast-fail without touching the queue model.
+        with pytest.raises(DeviceOutageError):
+            submit_one(provider, belem_job_inputs, now=99.0)
+        assert provider.fault_counters["job_failures"] == 2
+
+    def test_other_devices_unaffected(self, belem_job_inputs):
+        provider = make_provider(
+            plan=FaultPlan(
+                outages=(OutageWindow(device="Belem", start=0.0, permanent=True),)
+            )
+        )
+        circuit, _ = belem_job_inputs
+        qpu = build_qpu("Bogota")
+        footprint = transpile(circuit, qpu.topology).footprint
+        job = provider.submit("Bogota", [circuit], footprint, now=0.0)
+        assert job.status.value == "done"
+
+
+class TestResultDelays:
+    def test_delay_pushes_finish_not_device_clock(self, belem_job_inputs):
+        plan = FaultPlan(result_timeout_rate=0.999, result_delay_seconds=1234.0)
+        baseline = submit_one(make_provider(), belem_job_inputs)
+        provider = make_provider(plan=plan)
+        job = submit_one(provider, belem_job_inputs)
+        assert job.finish_time == pytest.approx(baseline.finish_time + 1234.0)
+        # The hardware freed up when execution ended, not when results landed.
+        assert provider._endpoint("Belem").free_at == pytest.approx(
+            baseline.finish_time
+        )
+        assert provider.fault_counters["result_delays"] == 1
+
+    def test_delay_can_blow_results_deadline(self, belem_job_inputs):
+        plan = FaultPlan(result_timeout_rate=0.999, result_delay_seconds=50_000.0)
+        provider = make_provider(
+            plan=plan, retry_policy=RetryPolicy(deadline_seconds=10_000.0)
+        )
+        with pytest.raises(JobDeadlineExceeded):
+            submit_one(provider, belem_job_inputs)
+        # The batch still executed: hardware time was spent.
+        assert provider._endpoint("Belem").record.jobs_completed == 1
+
+
+class TestCalibrationBlackouts:
+    def test_view_time_freezes_inside_window(self):
+        plan = FaultPlan(
+            calibration_blackouts=(
+                OutageWindow(device="Belem", start=100.0, duration=500.0),
+            )
+        )
+        provider = make_provider(plan=plan)
+        assert provider.properties_view_time("Belem", 50.0) == 50.0
+        assert provider.properties_view_time("Belem", 300.0) == 100.0
+        assert provider.properties_view_time("Belem", 700.0) == 700.0
+        assert provider.properties_view_time("Bogota", 300.0) == 300.0
+        assert provider.fault_counters["calibration_blackouts"] == 1
+
+    def test_view_time_identity_without_faults(self):
+        provider = make_provider()
+        assert provider.properties_view_time("Belem", 42.5) == 42.5
+
+
+class TestConstructionGuards:
+    def test_injector_plus_scheduler_rejected(self):
+        from repro.sched import CloudScheduler
+
+        plan = FaultPlan(transient_failure_rate=0.1)
+        with pytest.raises(ValueError, match="scheduler"):
+            CloudProvider(
+                [build_qpu("Belem")],
+                seed=1,
+                scheduler=CloudScheduler(policy="fifo"),
+                fault_injector=FaultInjector(plan, seed=1),
+            )
