@@ -10,7 +10,9 @@ the individual benchmarks only contain what is specific to them.
 from __future__ import annotations
 
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Callable
 
@@ -31,8 +33,29 @@ def smoke_requested(argv: list[str] | None = None) -> bool:
 
 
 def write_bench_json(path, result: dict) -> None:
-    """Persist one benchmark result (pretty JSON, trailing newline)."""
-    Path(path).write_text(json.dumps(result, indent=2) + "\n")
+    """Persist one benchmark result (pretty JSON, trailing newline).
+
+    The write is atomic — serialized to a sibling temp file, fsynced, then
+    ``os.replace``d over the target — so a benchmark killed mid-write (or two
+    racing CI jobs) can never leave a truncated ``BENCH_*.json`` behind.
+    """
+    target = Path(path)
+    payload = json.dumps(result, indent=2) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def bench_main(

@@ -1,0 +1,402 @@
+"""Durability benchmark — SIGKILL recovery, generation fallback, overhead.
+
+Three durability workloads, recorded in ``BENCH_checkpoint.json`` at the
+repository root so the crash-recovery guarantees are tracked across PRs:
+
+* **kill recovery** — a checkpointed training run is launched as a real
+  subprocess and SIGKILLed mid-epoch as soon as its first checkpoint
+  generation lands.  Recovery (``repro.resume``) must finish the run with a
+  history bitwise identical to a baseline that was never killed.
+* **damaged-store recovery** — the killed run's store is then damaged the
+  way real crashes damage it: a torn partial record is appended to the
+  journal and the newest checkpoint generation is bit-flipped.  Recovery
+  must fall back exactly one generation, tolerate the torn tail, and still
+  reproduce the baseline bit for bit.
+* **overhead** — training with ``checkpoint_every=1`` (journal appends +
+  fsync + full-state checkpoint at every epoch boundary) must cost < 5% of
+  the undurable run's wall time.  The asserted number is the directly
+  attributed persist time (see :func:`run_overhead` for why differencing
+  wall clocks cannot pin a ~2% effect on a shared host); the paired wall
+  difference is recorded alongside it as an unasserted reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import statistics
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from _common import REPO_ROOT, bench_json_path, bench_main, write_bench_json
+
+from repro.core import EQCConfig, EQCEnsemble
+from repro.core.objective import EnergyObjective
+from repro.persist import RunDirectory, read_journal, resume
+from repro.vqa.vqe import heisenberg_vqe_problem
+
+DEVICES = ("x2", "Belem", "Bogota", "Quito")
+#: Closer to the paper's 8192-shot scale than the other benches' 256: the
+#: overhead floor compares fixed per-epoch durability cost (~1-2ms of JSON,
+#: journal fsync, checkpoint fsync) against real epoch compute, and a toy
+#: workload would measure timer noise instead of the contract.
+SHOTS = 1024
+SEED = 1
+EPOCHS = 6
+SMOKE_EPOCHS = 4
+#: The overhead run is longer than the recovery runs: per-epoch durability
+#: cost is ~1ms against ~50ms of epoch compute, so short runs would measure
+#: scheduler/timer noise instead of the contract.
+OVERHEAD_EPOCHS = 10
+SMOKE_OVERHEAD_EPOCHS = 6
+OVERHEAD_REPS = 3
+#: The overhead workload uses a deeper ansatz than the recovery workloads:
+#: two layers (32 parameters) is the realistic VQE depth, and its ~160ms
+#: epochs dwarf the fixed ~2ms per-epoch durability cost the floor pins.
+#: The recovery workloads stay at one layer — they assert bit-exactness,
+#: where a faster epoch means a faster benchmark and nothing else.
+OVERHEAD_LAYERS = 2
+BENCH_PATH = bench_json_path("checkpoint")
+
+#: Pinned CI floor: full-state checkpointing at every epoch boundary may
+#: cost at most this fraction of the undurable run's wall time.
+MAX_OVERHEAD_FRACTION = 0.05
+
+KILL_POLL_SECONDS = 0.02
+KILL_TIMEOUT_SECONDS = 300.0
+
+
+def _make_objective(num_layers: int = 1):
+    problem = heisenberg_vqe_problem(num_layers=num_layers)
+    return EnergyObjective(problem.estimator)
+
+
+def _make_config(**overrides):
+    kwargs = dict(device_names=DEVICES, shots=SHOTS, seed=SEED)
+    kwargs.update(overrides)
+    return EQCConfig(**kwargs)
+
+
+def _train_once(epochs: int, num_layers: int = 1, **config_kwargs):
+    objective = _make_objective(num_layers)
+    ensemble = EQCEnsemble(objective, _make_config(**config_kwargs))
+    theta0 = np.zeros(ensemble.objective.num_parameters)
+    return ensemble.train(theta0, num_epochs=epochs)
+
+
+def _histories_bit_exact(reference, candidate) -> bool:
+    if len(reference.records) != len(candidate.records):
+        return False
+    for expected, actual in zip(reference.records, candidate.records):
+        if (
+            actual.loss != expected.loss
+            or not np.array_equal(actual.parameters, expected.parameters)
+            or actual.sim_time_hours != expected.sim_time_hours
+            or actual.weights != expected.weights
+        ):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# subprocess child: the run that gets SIGKILLed
+# ---------------------------------------------------------------------------
+
+def _child_main(store_root: str, epochs: int) -> None:
+    """Train with per-epoch checkpointing until the parent kills us."""
+    _train_once(epochs, checkpoint_every=1, run_store=store_root)
+
+
+def _launch_and_kill(store_root: str, epochs: int) -> dict:
+    """Start a checkpointed training subprocess; SIGKILL it mid-epoch.
+
+    The parent polls the run store until the first checkpoint generation
+    lands, then kills the child without warning — the moment is mid-epoch
+    by construction (the child checkpointed epoch N and is already partway
+    through epoch N+1 when the poll observes the file).
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--child", store_root, str(epochs)],
+        env=env,
+        cwd=os.path.dirname(os.path.abspath(__file__)),
+    )
+    run_path = os.path.join(store_root, "run-000001")
+    checkpoints = os.path.join(run_path, "checkpoints")
+    deadline = time.monotonic() + KILL_TIMEOUT_SECONDS
+    try:
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                raise RuntimeError(
+                    f"training child exited on its own (rc={child.returncode}) "
+                    "before it could be killed"
+                )
+            if os.path.isdir(checkpoints) and any(
+                name.endswith(".eqc") for name in os.listdir(checkpoints)
+            ):
+                break
+            time.sleep(KILL_POLL_SECONDS)
+        else:
+            raise RuntimeError("no checkpoint appeared before the kill timeout")
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=60)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=60)
+    return {"returncode": child.returncode, "run_path": run_path}
+
+
+def run_kill_recovery(epochs: int, store_root: str) -> dict:
+    """SIGKILL a real training process, recover, compare bitwise."""
+    baseline = _train_once(epochs)
+    kill = _launch_and_kill(store_root, epochs)
+    run = RunDirectory(kill["run_path"])
+    status_after_kill = run.status()
+    checkpoints_after_kill = [p.name for p in run.checkpoint_paths()]
+    journal_after_kill = read_journal(run.journal_path)
+
+    # Damage a copy of the store first (workload 2 resumes it later) —
+    # the clean recovery below marks the original complete.
+    damaged = kill["run_path"] + "-damaged"
+    shutil.copytree(kill["run_path"], damaged)
+
+    recovered = resume(run, _make_objective())
+    return {
+        "child_returncode": kill["returncode"],
+        "status_after_kill": status_after_kill,
+        "checkpoints_after_kill": checkpoints_after_kill,
+        "journal_records_after_kill": len(journal_after_kill.records),
+        "journal_torn_tail_bytes": journal_after_kill.torn_tail_bytes,
+        "histories_bit_exact": _histories_bit_exact(baseline, recovered),
+        "status_after_recovery": run.status(),
+        "_baseline": baseline,
+        "_damaged_path": damaged,
+    }
+
+
+def run_damaged_store_recovery(baseline, damaged_path: str) -> dict:
+    """Tear the journal tail, corrupt the newest generation, recover."""
+    run = RunDirectory(damaged_path)
+    with open(run.journal_path, "ab") as handle:
+        handle.write(b'deadbeef {"update": 999999, "torn mid-')
+    newest = run.checkpoint_paths()[-1]
+    blob = bytearray(newest.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    newest.write_bytes(bytes(blob))
+
+    from repro.persist import TrainingCheckpointer
+
+    fallbacks_seen: list[int] = []
+    original = TrainingCheckpointer._prepare_restore
+
+    def counting(self):
+        original(self)
+        fallbacks_seen.append(len(self.fallbacks))
+
+    TrainingCheckpointer._prepare_restore = counting
+    try:
+        recovered = resume(run, _make_objective())
+    finally:
+        TrainingCheckpointer._prepare_restore = original
+    return {
+        "corrupted_generation": newest.name,
+        "generations_fallen_back": fallbacks_seen[0] if fallbacks_seen else 0,
+        "histories_bit_exact": _histories_bit_exact(baseline, recovered),
+    }
+
+
+# ---------------------------------------------------------------------------
+# overhead
+# ---------------------------------------------------------------------------
+
+def run_overhead(epochs: int, store_root: str, reps: int) -> dict:
+    """Wall cost of checkpoint_every=1 vs durability disabled.
+
+    The asserted number is the **directly attributed** durability cost: the
+    wall time spent inside the checkpointer's hooks (journal appends,
+    checkpoint assembly + write + retention), which every durable run
+    accumulates in ``TrainingCheckpointer.persist_seconds`` and reports in
+    ``history.metadata["persist"]``, divided by the plain run's wall time.
+    Differencing two whole-run wall times cannot pin a ~2% effect on a
+    shared host — CPU-frequency drift and scheduler stalls move short runs
+    by ±6% between reps, so the difference measures the host, not the
+    checkpointer.  The paired wall difference is still recorded
+    (``wall_delta_fraction``) so a systematic indirect cost (GC pressure,
+    writeback interference) would show up across PRs, but it carries the
+    host noise and is not asserted.
+
+    Measurement hygiene: one warm-up pair primes transpile/page caches;
+    pairs alternate order (plain-first, durable-first, ...) so slow drift
+    cancels out of the paired difference; minimums over reps feed the wall
+    numbers because host noise is additive.
+    """
+    def timed(**config_kwargs):
+        # Drain pending writeback *outside* the timed region: the recovery
+        # workloads and earlier reps leave dirty pages, and the durable run's
+        # journal fsync would otherwise queue behind that backlog — charging
+        # unrelated I/O to the checkpoint path.
+        os.sync()
+        start = time.perf_counter()
+        history = _train_once(epochs, num_layers=OVERHEAD_LAYERS, **config_kwargs)
+        return time.perf_counter() - start, history
+
+    def durable_kwargs(tag) -> dict:
+        return {
+            "checkpoint_every": 1,
+            "run_store": os.path.join(store_root, f"rep-{tag}"),
+        }
+
+    timed()  # warm-up pair: transpile/program caches, page cache
+    timed(**durable_kwargs("warmup"))
+    plain_times: list[float] = []
+    durable_times: list[float] = []
+    persist_times: list[float] = []
+    for i in range(reps):
+        def one_durable():
+            wall, history = timed(**durable_kwargs(i))
+            durable_times.append(wall)
+            persist_times.append(history.metadata["persist"]["persist_seconds"])
+        if i % 2 == 0:
+            plain_times.append(timed()[0])
+            one_durable()
+        else:
+            one_durable()
+            plain_times.append(timed()[0])
+    plain = min(plain_times)
+    durable = min(durable_times)
+    persist = statistics.median(persist_times)
+    return {
+        "epochs": epochs,
+        "reps": reps,
+        "plain_seconds": plain,
+        "durable_seconds": durable,
+        "persist_seconds": persist,
+        "overhead_fraction": persist / plain,
+        "wall_delta_fraction": (durable - plain) / plain,
+    }
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def run_checkpoint_benchmark(
+    epochs: int = EPOCHS,
+    overhead_epochs: int = OVERHEAD_EPOCHS,
+    reps: int = OVERHEAD_REPS,
+) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="eqc-bench-ckpt-") as scratch:
+        kill = run_kill_recovery(epochs, os.path.join(scratch, "kill"))
+        baseline = kill.pop("_baseline")
+        damaged_path = kill.pop("_damaged_path")
+        damaged = run_damaged_store_recovery(baseline, damaged_path)
+        overhead = run_overhead(
+            overhead_epochs, os.path.join(scratch, "overhead"), reps
+        )
+    return {
+        "benchmark": "checkpoint",
+        "config": {
+            "devices": list(DEVICES),
+            "shots": SHOTS,
+            "seed": SEED,
+            "epochs": epochs,
+            "checkpoint_every": 1,
+        },
+        "kill_recovery": kill,
+        "damaged_store_recovery": damaged,
+        "overhead": overhead,
+    }
+
+
+def check_and_record(result: dict) -> None:
+    """Persist the result and enforce the acceptance criteria."""
+    write_bench_json(BENCH_PATH, result)
+    kill = result["kill_recovery"]
+    damaged = result["damaged_store_recovery"]
+    overhead = result["overhead"]
+
+    assert kill["child_returncode"] == -signal.SIGKILL, (
+        f"the training child was not SIGKILLed (rc={kill['child_returncode']})"
+    )
+    assert kill["status_after_kill"] == "running", (
+        "the killed run's manifest should still say 'running'"
+    )
+    assert kill["checkpoints_after_kill"], "the child never wrote a checkpoint"
+    assert kill["histories_bit_exact"], (
+        "recovery from SIGKILL diverged from the never-killed baseline"
+    )
+    assert kill["status_after_recovery"] == "complete"
+    assert damaged["generations_fallen_back"] == 1, (
+        f"expected recovery to skip exactly the corrupted generation, "
+        f"fell back {damaged['generations_fallen_back']}"
+    )
+    assert damaged["histories_bit_exact"], (
+        "recovery from a damaged store diverged from the baseline"
+    )
+    assert overhead["overhead_fraction"] < MAX_OVERHEAD_FRACTION, (
+        f"checkpoint_every=1 costs {overhead['overhead_fraction']:.1%} of the "
+        f"plain run's wall time in persist hooks "
+        f"(max {MAX_OVERHEAD_FRACTION:.0%})"
+    )
+
+
+def _report(result: dict) -> None:
+    kill = result["kill_recovery"]
+    damaged = result["damaged_store_recovery"]
+    overhead = result["overhead"]
+    print(
+        f"\n=== Checkpoint: SIGKILL recovery "
+        f"({len(DEVICES)} devices, checkpoint_every=1) ==="
+    )
+    print(
+        f"child rc {kill['child_returncode']} | "
+        f"checkpoints at kill {kill['checkpoints_after_kill']} | "
+        f"journal records {kill['journal_records_after_kill']} "
+        f"(torn tail {kill['journal_torn_tail_bytes']}B) | "
+        f"bit-exact after resume: {kill['histories_bit_exact']}"
+    )
+    print("=== Checkpoint: damaged-store recovery ===")
+    print(
+        f"corrupted {damaged['corrupted_generation']} | "
+        f"generations fallen back {damaged['generations_fallen_back']} | "
+        f"bit-exact: {damaged['histories_bit_exact']}"
+    )
+    print("=== Checkpoint: overhead ===")
+    print(
+        f"plain {overhead['plain_seconds']:.3f}s | "
+        f"durable {overhead['durable_seconds']:.3f}s | "
+        f"persist {overhead['persist_seconds'] * 1000:.1f}ms | "
+        f"attributed overhead {overhead['overhead_fraction']:+.2%} "
+        f"(max {MAX_OVERHEAD_FRACTION:.0%}) | "
+        f"wall delta {overhead['wall_delta_fraction']:+.2%}"
+    )
+
+
+def test_checkpoint_recovery():
+    result = run_checkpoint_benchmark()
+    _report(result)
+    check_and_record(result)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 2 and sys.argv[1] == "--child":
+        _child_main(sys.argv[2], int(sys.argv[3]))
+        sys.exit(0)
+    bench_main(
+        lambda smoke: run_checkpoint_benchmark(
+            SMOKE_EPOCHS if smoke else EPOCHS,
+            overhead_epochs=SMOKE_OVERHEAD_EPOCHS if smoke else OVERHEAD_EPOCHS,
+        ),
+        check_and_record,
+        report=_report,
+    )

@@ -86,6 +86,17 @@ from .hamiltonian import (
     heisenberg_square_lattice,
     ring_maxcut_hamiltonian,
 )
+from .persist import (
+    CheckpointCorruptError,
+    JournalDivergenceError,
+    RunDirectory,
+    RunStore,
+    TrainingCheckpointer,
+    list_runs,
+    load_run,
+    read_journal,
+    resume,
+)
 from .sched import (
     CalibrationAwarePolicy,
     CloudScheduler,
@@ -207,4 +218,14 @@ __all__ = [
     "JobRetriesExhausted",
     "JobDeadlineExceeded",
     "FleetExhaustedError",
+    # durability / crash recovery
+    "RunStore",
+    "RunDirectory",
+    "TrainingCheckpointer",
+    "CheckpointCorruptError",
+    "JournalDivergenceError",
+    "list_runs",
+    "load_run",
+    "read_journal",
+    "resume",
 ]

@@ -23,7 +23,6 @@ imbalance the paper motivates EQC with can be quantified (see
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
@@ -126,7 +125,9 @@ class CloudProvider:
             backend = backend_factory(qpu) if backend_factory is not None else None
             self._endpoints[qpu.name] = DeviceEndpoint(qpu, model, seed, backend=backend)
         self.default_shots = int(shots)
-        self._job_ids = itertools.count()
+        #: Next job id (a plain int rather than itertools.count so checkpoint
+        #: snapshots can capture and restore the counter).
+        self._next_job_id = 0
         self.scheduler = scheduler
         self._queue_policy = (
             queue_policy if queue_policy is not None else StatisticalQueuePolicy()
@@ -181,6 +182,60 @@ class CloudProvider:
             raise KeyError(f"unknown device {device_name!r}")
         return self._endpoints[device_name]
 
+    def _new_job_id(self) -> int:
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        return job_id
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Everything that evolves during training, as JSON-able data.
+
+        Per endpoint: the RNG bit-generator state (queue waits + measurement
+        shots draw from it), the device's own fallback stream, the virtual
+        clock, and the utilization record; provider-wide: the job-id
+        counter, dead devices, and fault counters.  The scheduler path keeps
+        its state inside the event kernel and is not checkpointable (config
+        validation rejects it before a snapshot is ever taken).
+        """
+        return {
+            "next_job_id": self._next_job_id,
+            "dead_devices": sorted(self.dead_devices),
+            "fault_counters": dict(self.fault_counters),
+            "endpoints": {
+                name: {
+                    "rng": endpoint.rng.bit_generator.state,
+                    "qpu_rng": endpoint.qpu._rng.bit_generator.state,
+                    "free_at": endpoint.free_at,
+                    "record": {
+                        "jobs_completed": endpoint.record.jobs_completed,
+                        "busy_seconds": endpoint.record.busy_seconds,
+                        "queued_seconds": endpoint.record.queued_seconds,
+                        "last_finish_time": endpoint.record.last_finish_time,
+                    },
+                }
+                for name, endpoint in self._endpoints.items()
+            },
+        }
+
+    def restore_state(self, data: Mapping) -> None:
+        """Restore a captured provider state into this (fresh) provider."""
+        self._next_job_id = int(data["next_job_id"])
+        self.dead_devices = set(data["dead_devices"])
+        self.fault_counters = {k: int(v) for k, v in data["fault_counters"].items()}
+        for name, captured in data["endpoints"].items():
+            endpoint = self._endpoint(name)
+            endpoint.rng.bit_generator.state = dict(captured["rng"])
+            endpoint.qpu._rng.bit_generator.state = dict(captured["qpu_rng"])
+            endpoint.free_at = float(captured["free_at"])
+            record = captured["record"]
+            endpoint.record.jobs_completed = int(record["jobs_completed"])
+            endpoint.record.busy_seconds = float(record["busy_seconds"])
+            endpoint.record.queued_seconds = float(record["queued_seconds"])
+            endpoint.record.last_finish_time = float(record["last_finish_time"])
+
     # ------------------------------------------------------------------
     def submit(
         self,
@@ -209,7 +264,7 @@ class CloudProvider:
         shots = int(shots) if shots is not None else self.default_shots
 
         job = CloudJob(
-            job_id=next(self._job_ids),
+            job_id=self._new_job_id(),
             device_name=device_name,
             num_circuits=len(circuits),
             shots=shots,

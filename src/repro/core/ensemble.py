@@ -86,6 +86,17 @@ class EQCConfig:
             and its task redispatched.
         min_live_devices: training aborts with ``FleetExhaustedError`` when
             fewer devices remain live after retirements.
+        checkpoint_every: write a resume-exact checkpoint every this many
+            completed epochs (requires ``run_store``); ``None`` (the
+            default) disables durability entirely — no journal, no run
+            directory, trajectories bit-identical to the seed.  Incompatible
+            with the discrete-event scheduler and ``parallel_workers > 1``
+            (kernel/worker state lives outside the checkpointable surface).
+        run_store: root directory of the persistent run store
+            (:class:`repro.persist.RunStore`) this run registers into.
+        checkpoint_retention: checkpoint generations to keep on disk; older
+            generations are deleted after each new checkpoint, and recovery
+            falls back one generation when the newest is corrupted.
     """
 
     device_names: tuple[str, ...] = DEFAULT_VQE_FLEET
@@ -105,6 +116,9 @@ class EQCConfig:
     retry_policy: RetryPolicy | None = None
     dispatch_deadline: float | None = None
     min_live_devices: int = 1
+    checkpoint_every: int | None = None
+    run_store: str | None = None
+    checkpoint_retention: int = 3
 
     def __post_init__(self) -> None:
         if not self.device_names:
@@ -140,6 +154,31 @@ class EQCConfig:
             raise ValueError(
                 "retry_policy requires a fault_plan with device-level faults"
             )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_retention < 1:
+            raise ValueError("checkpoint_retention must be >= 1")
+        if (self.checkpoint_every is None) != (self.run_store is None):
+            raise ValueError(
+                "checkpoint_every and run_store must be set together: "
+                "the checkpoint cadence needs a run store to write into, "
+                "and a run store without a cadence would never checkpoint "
+                f"(got checkpoint_every={self.checkpoint_every!r}, "
+                f"run_store={self.run_store!r})"
+            )
+        if self.checkpointing_enabled:
+            if self.uses_scheduler:
+                raise ValueError(
+                    "checkpointing is incompatible with the discrete-event "
+                    "scheduler: the shared event kernel's state lives outside "
+                    "the checkpointable surface"
+                )
+            if self.parallel_workers > 1:
+                raise ValueError(
+                    "checkpointing is incompatible with parallel_workers > 1: "
+                    "worker-process state cannot be captured mid-run (use the "
+                    "sequential path for durable runs)"
+                )
         if self.faults_enabled:
             plan = self.fault_plan
             if plan.has_device_faults and self.uses_scheduler:
@@ -174,6 +213,11 @@ class EQCConfig:
     def uses_scheduler(self) -> bool:
         """True when jobs go through the event kernel (not the fallback)."""
         return self.scheduling_policy is not None or self.background_tenants > 0
+
+    @property
+    def checkpointing_enabled(self) -> bool:
+        """True when training writes a durable run (journal + checkpoints)."""
+        return self.checkpoint_every is not None
 
     def describe(self) -> str:
         if self.label:
@@ -254,6 +298,7 @@ class EQCEnsemble:
         num_epochs: int,
         task_queue: CyclicTaskQueue | None = None,
         record_every: int = 1,
+        _checkpointer: "object | None" = None,
     ) -> TrainingHistory:
         """Run asynchronous ensemble training and return its history.
 
@@ -261,10 +306,32 @@ class EQCEnsemble:
         in a multiprocessing pool (lazily constructed here, torn down before
         returning); histories are bit-exact with the sequential path either
         way.
+
+        With ``config.checkpoint_every`` set the run registers into the
+        configured run store, journals every update, and checkpoints at the
+        configured epoch cadence — so a killed process can be finished
+        bit-exactly with :func:`repro.persist.resume`.  ``_checkpointer`` is
+        the resume path's entry point (a restore-loaded
+        :class:`~repro.persist.TrainingCheckpointer`); user code never
+        passes it.
         """
         if record_every < 1:
             raise ValueError("record_every must be >= 1")
         queue = task_queue or vqe_task_cycle(self.objective.num_parameters)
+        checkpointer = _checkpointer
+        run = None
+        if checkpointer is None and self.config.checkpointing_enabled:
+            # Imported lazily: persist builds on core's master/history, so a
+            # module-level import would be circular (same pattern as the
+            # parallel executor below).
+            from ..persist.store import RunStore
+
+            run = RunStore(self.config.run_store).create_run(
+                config=self.config,
+                initial_parameters=[float(v) for v in initial_parameters],
+                num_epochs=num_epochs,
+                record_every=record_every,
+            )
         executor = None
         if self.config.parallel_workers > 1:
             # Imported lazily: execution builds on core's client node, so a
@@ -284,6 +351,16 @@ class EQCEnsemble:
             )
         try:
             health = DeviceHealthTracker() if self.config.fault_tolerant else None
+            if run is not None:
+                from ..persist.checkpoint import TrainingCheckpointer
+
+                checkpointer = TrainingCheckpointer(
+                    run,
+                    checkpoint_every=self.config.checkpoint_every,
+                    retention=self.config.checkpoint_retention,
+                    provider=self.provider,
+                    injector=self.fault_injector,
+                )
             master = EQCMasterNode(
                 objective=self.objective,
                 clients=self.clients,
@@ -300,7 +377,11 @@ class EQCEnsemble:
                 dispatch_deadline=self.config.dispatch_deadline,
                 min_live_devices=self.config.min_live_devices,
             )
-            history = master.train(num_epochs=num_epochs, record_every=record_every)
+            history = master.train(
+                num_epochs=num_epochs,
+                record_every=record_every,
+                checkpointer=checkpointer,
+            )
             if self.config.fault_tolerant:
                 if self.config.fault_plan is not None:
                     history.metadata["fault_plan"] = self.config.fault_plan.describe()
@@ -325,6 +406,10 @@ class EQCEnsemble:
         finally:
             if executor is not None:
                 executor.shutdown()
+            if checkpointer is not None:
+                # Crash-path safety: the journal is flushed/closed even when
+                # training raises (the run stays resumable).
+                checkpointer.close()
         if self.scheduler is not None:
             history.metadata["scheduler"] = self.scheduler.metrics()
         if _telemetry.enabled:
@@ -336,4 +421,8 @@ class EQCEnsemble:
                 registry.gauge("qpu.utilization", device=name).set(
                     stats["utilization"]
                 )
+        if checkpointer is not None:
+            # The final history (ensemble metadata included) and the closing
+            # manifest flip land only after a fully successful run.
+            checkpointer.finalize(history)
         return history

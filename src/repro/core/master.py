@@ -36,6 +36,7 @@ from .weighting import WeightingConfig, normalize_weights
 
 if TYPE_CHECKING:  # pragma: no cover - core never imports execution at runtime
     from ..execution.parallel import ParallelEnsembleExecutor
+    from ..persist.checkpoint import TrainingCheckpointer
 
 __all__ = ["EQCMasterNode", "MasterTelemetry"]
 
@@ -153,6 +154,11 @@ class EQCMasterNode:
         return self._health is not None or self.dispatch_deadline is not None
 
     @property
+    def health(self) -> DeviceHealthTracker | None:
+        """The circuit-breaker tracker (None when fault tolerance is off)."""
+        return self._health
+
+    @property
     def live_device_names(self) -> tuple[str, ...]:
         return tuple(client.device_name for client in self._live)
 
@@ -172,6 +178,7 @@ class EQCMasterNode:
         num_epochs: int | None = None,
         record_every: int = 1,
         target_updates: int | None = None,
+        checkpointer: "TrainingCheckpointer | None" = None,
     ) -> TrainingHistory:
         """Run the asynchronous optimization for ``num_epochs`` epochs.
 
@@ -180,6 +187,13 @@ class EQCMasterNode:
         updates beyond the last full epoch are recorded as a final *partial*
         epoch (flagged in ``history.metadata['final_epoch_partial_updates']``)
         rather than silently dropped.
+
+        ``checkpointer`` (see :class:`repro.persist.TrainingCheckpointer`)
+        journals every committed update, writes checkpoint generations at
+        epoch boundaries, and — when it carries restored state — re-enters
+        the loop exactly where the interrupted run left off.  Checkpointing
+        consumes no randomness and never touches the update path, so the
+        trajectory is bit-identical with or without it.
         """
         if target_updates is None:
             if num_epochs is None or num_epochs < 1:
@@ -206,13 +220,20 @@ class EQCMasterNode:
         telemetry_on = _telemetry.enabled
         epoch_wall_start = time.time_ns() if telemetry_on else 0
         epoch_sim_start = now
-
-        # Initial dispatch: one task per client (Algorithm 1's first loop).
-        for client in list(self._live):
-            sequence += 1
-            heapq.heappush(pending, self._dispatch(client, now, sequence))
-
         epoch_completed = 0
+
+        restored = None
+        if checkpointer is not None:
+            restored = checkpointer.restore_into(self, history)
+        if restored is not None:
+            # Resume: the loop re-enters exactly at the heap pop the
+            # interrupted run was about to perform.
+            pending, sequence, now, epoch_completed, epoch_sim_start = restored
+        else:
+            # Initial dispatch: one task per client (Algorithm 1's first loop).
+            for client in list(self._live):
+                sequence += 1
+                heapq.heappush(pending, self._dispatch(client, now, sequence))
         while self.telemetry.updates_applied < target_updates and pending:
             item = heapq.heappop(pending)
             now = max(now, item.finish_time)
@@ -245,8 +266,14 @@ class EQCMasterNode:
             self.telemetry.total_staleness += max(0, staleness)
             self.telemetry.max_staleness = max(self.telemetry.max_staleness, staleness)
             apply_start = time.perf_counter() if telemetry_on else 0.0
-            self.state.apply(outcome.task.parameter_index, outcome.gradient, self.rule, weight)
+            new_value = self.state.apply(
+                outcome.task.parameter_index, outcome.gradient, self.rule, weight
+            )
             self.telemetry.updates_applied += 1
+            if checkpointer is not None:
+                # Journal the committed update (or, on resume, verify the
+                # replayed update bit-for-bit against its journal record).
+                checkpointer.record_update(self, outcome, weight, new_value)
             if telemetry_on:
                 registry = _telemetry.registry
                 registry.histogram("eqc.weight_update_seconds").observe(
@@ -294,6 +321,14 @@ class EQCMasterNode:
             if self.telemetry.updates_applied < target_updates:
                 sequence += 1
                 heapq.heappush(pending, self._dispatch(client, now, sequence))
+
+            if checkpointer is not None:
+                # End of iteration: the loop state is "about to pop the next
+                # event", which is exactly where a restore re-enters.
+                checkpointer.after_iteration(
+                    self, history, pending, sequence, now, epoch_completed,
+                    epoch_sim_start,
+                )
 
         # Tail updates past the last full epoch boundary: record them as a
         # final partial epoch so truncated update budgets stay visible.

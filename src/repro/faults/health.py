@@ -64,6 +64,7 @@ class DeviceHealthTracker:
         recovery_seconds: float = 1800.0,
         probe_successes: int = 1,
         max_reopens: int = 8,
+        max_transitions: int = 10000,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -73,6 +74,8 @@ class DeviceHealthTracker:
             raise ValueError("probe_successes must be >= 1")
         if max_reopens < 1:
             raise ValueError("max_reopens must be >= 1")
+        if max_transitions < 1:
+            raise ValueError("max_transitions must be >= 1")
         self.failure_threshold = int(failure_threshold)
         self.recovery_seconds = float(recovery_seconds)
         self.probe_successes = int(probe_successes)
@@ -80,8 +83,14 @@ class DeviceHealthTracker:
         #: device dead — persistent failure must converge to retirement, not
         #: probe forever (the master's liveness depends on this).
         self.max_reopens = int(max_reopens)
+        #: Cap on the recorded transition log so week-long chaos runs cannot
+        #: grow memory without bound; ``transitions_total`` stays exact and
+        #: ``transitions_dropped`` counts what the cap discarded.
+        self.max_transitions = int(max_transitions)
         self._devices: dict[str, _DeviceHealth] = {}
         self.transitions: list[BreakerTransition] = []
+        self.transitions_total = 0
+        self.transitions_dropped = 0
 
     # ------------------------------------------------------------------
     def _entry(self, device: str) -> _DeviceHealth:
@@ -94,15 +103,21 @@ class DeviceHealthTracker:
     def _transition(
         self, device: str, entry: _DeviceHealth, to: BreakerState, now: float, reason: str
     ) -> None:
-        self.transitions.append(
-            BreakerTransition(
-                time=float(now),
-                device=device,
-                from_state=entry.state.value,
-                to_state=to.value,
-                reason=reason,
+        self.transitions_total += 1
+        if len(self.transitions) < self.max_transitions:
+            self.transitions.append(
+                BreakerTransition(
+                    time=float(now),
+                    device=device,
+                    from_state=entry.state.value,
+                    to_state=to.value,
+                    reason=reason,
+                )
             )
-        )
+        else:
+            # Deterministic overflow: keep the earliest max_transitions
+            # entries and count the tail — identical runs drop identically.
+            self.transitions_dropped += 1
         entry.state = to
 
     # ------------------------------------------------------------------
@@ -195,7 +210,7 @@ class DeviceHealthTracker:
 
     def summary(self) -> dict:
         """JSON-friendly snapshot (used for determinism pins and metadata)."""
-        return {
+        out = {
             "devices": {
                 name: {
                     "state": entry.state.value,
@@ -217,6 +232,73 @@ class DeviceHealthTracker:
                 for t in self.transitions
             ],
         }
+        if self.transitions_dropped > 0:
+            # The overflow marker appears only when the cap actually dropped
+            # entries, so uncapped summaries stay byte-identical to the seed.
+            out["transitions_total"] = self.transitions_total
+            out["transitions_dropped"] = self.transitions_dropped
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Complete breaker state as JSON-able data (resume mid-chaos)."""
+        return {
+            "devices": {
+                name: {
+                    "state": entry.state.value,
+                    "consecutive_failures": entry.consecutive_failures,
+                    "opened_at": entry.opened_at,
+                    "probe_successes": entry.probe_successes,
+                    "reopens": entry.reopens,
+                    "dead": entry.dead,
+                    "failures_total": entry.failures_total,
+                    "successes_total": entry.successes_total,
+                }
+                for name, entry in self._devices.items()
+            },
+            "transitions": [
+                {
+                    "time": t.time,
+                    "device": t.device,
+                    "from_state": t.from_state,
+                    "to_state": t.to_state,
+                    "reason": t.reason,
+                }
+                for t in self.transitions
+            ],
+            "transitions_total": self.transitions_total,
+            "transitions_dropped": self.transitions_dropped,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a captured breaker state into this (fresh) tracker."""
+        self._devices = {
+            name: _DeviceHealth(
+                state=BreakerState(entry["state"]),
+                consecutive_failures=int(entry["consecutive_failures"]),
+                opened_at=float(entry["opened_at"]),
+                probe_successes=int(entry["probe_successes"]),
+                reopens=int(entry["reopens"]),
+                dead=bool(entry["dead"]),
+                failures_total=int(entry["failures_total"]),
+                successes_total=int(entry["successes_total"]),
+            )
+            for name, entry in data["devices"].items()
+        }
+        self.transitions = [
+            BreakerTransition(
+                time=float(t["time"]),
+                device=str(t["device"]),
+                from_state=str(t["from_state"]),
+                to_state=str(t["to_state"]),
+                reason=str(t["reason"]),
+            )
+            for t in data["transitions"]
+        ]
+        self.transitions_total = int(data["transitions_total"])
+        self.transitions_dropped = int(data["transitions_dropped"])
 
     def publish(self, registry=None, prefix: str = "faults") -> None:
         """Write breaker states and transition counts into a metrics registry."""
@@ -229,7 +311,9 @@ class DeviceHealthTracker:
             registry.gauge(f"{prefix}.device_failures", device=name).set(
                 entry.failures_total
             )
-        registry.gauge(f"{prefix}.breaker_transitions").set(len(self.transitions))
+        # transitions_total, not len(transitions): the gauge stays exact even
+        # after the max_transitions cap starts dropping log entries.
+        registry.gauge(f"{prefix}.breaker_transitions").set(self.transitions_total)
 
     def __repr__(self) -> str:
         states = {name: e.state.value for name, e in self._devices.items()}

@@ -54,6 +54,26 @@ class FaultInjector:
         return generator
 
     # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_streams(self) -> dict:
+        """Bit-generator states of every stream created so far, by label.
+
+        A stream that was never created needs no capture: it will be derived
+        from ``(seed, plan.seed, label)`` at first use, exactly as in the
+        original run.
+        """
+        return {
+            label: generator.bit_generator.state
+            for label, generator in self._streams.items()
+        }
+
+    def restore_streams(self, states: dict) -> None:
+        """Restore captured streams mid-sequence (resume under active chaos)."""
+        for label, state in states.items():
+            self.stream(label).bit_generator.state = dict(state)
+
+    # ------------------------------------------------------------------
     # per-fault decision draws
     # ------------------------------------------------------------------
     def transient_failure(self, device: str) -> bool:

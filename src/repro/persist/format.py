@@ -1,0 +1,186 @@
+"""The on-disk checkpoint container: versioned, self-describing, CRC-framed.
+
+A checkpoint file is a sectioned container::
+
+    EQCCKPT\\n                              magic line
+    <header JSON>\\n                        schema + section directory
+    <section 0 payload bytes>
+    <section 1 payload bytes>
+    ...
+
+The header is one JSON object ``{"schema": N, "sections": [{"name", "length",
+"crc32"}, ...]}``; each payload is the UTF-8 JSON encoding of one section's
+value, and its CRC32 is recorded in the directory.  Readers verify the magic,
+the schema number, every section length, and every section CRC before
+returning anything — a truncated or bit-flipped file raises
+:class:`CheckpointCorruptError` instead of yielding silently wrong state,
+which is what lets the recovery path fall back one checkpoint generation.
+
+Floats survive the JSON round trip bit-exactly (``json`` serializes via
+``repr``, the shortest exact representation), and NumPy bit-generator states
+are plain dicts of (big) integers — so a restored RNG stream continues from
+exactly the captured position.
+
+Writes are atomic: the container is assembled in full, written to a
+temporary sibling, fsynced, and moved over the destination with
+``os.replace``.  A crash mid-write can therefore never produce a torn
+checkpoint — only the previous generation or the complete new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointCorruptError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "write_checkpoint_file",
+    "read_checkpoint_file",
+]
+
+#: First line of every checkpoint container.
+CHECKPOINT_MAGIC = b"EQCCKPT\n"
+
+#: Current checkpoint schema.  Bump on any incompatible layout change; the
+#: reader rejects unknown schemas loudly instead of misinterpreting bytes.
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointCorruptError(RuntimeError):
+    """The checkpoint file is truncated, bit-flipped, or schema-incompatible."""
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, payload: bytes, fsync: bool = True
+) -> None:
+    """Write ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    Readers never observe a partial file: they see either the old content or
+    the complete new content.  With ``fsync=True`` the content is also
+    durable against a host crash before the rename publishes it.  Callers
+    whose readers verify content integrity themselves (the CRC-framed
+    checkpoint container, whose recovery falls back a generation on any
+    verification failure) may pass ``fsync=False`` and skip the ~1ms sync:
+    a power cut can then leave the newest file unreadable, never a torn
+    half-state, and never losing anything the fsynced journal holds.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | os.PathLike, value: object, indent: int = 2) -> None:
+    """Atomically persist one JSON document (pretty, trailing newline)."""
+    atomic_write_bytes(path, (json.dumps(value, indent=indent) + "\n").encode())
+
+
+def write_checkpoint_file(
+    path: str | os.PathLike, sections: dict[str, object], fsync: bool = False
+) -> int:
+    """Assemble and atomically write one checkpoint container.
+
+    ``sections`` maps section names to JSON-serializable values.  Returns the
+    container size in bytes (telemetry records it as the checkpoint payload).
+
+    Checkpoints default to ``fsync=False``: the run journal — fsynced before
+    every checkpoint commits — is the durability anchor, and a generation
+    that a power cut leaves unreadable is exactly what CRC verification and
+    retention fallback recover from.  Skipping the sync keeps per-epoch
+    checkpointing inside the overhead budget that ``bench_checkpoint`` pins.
+    """
+    payloads: list[tuple[str, bytes]] = []
+    for name, value in sections.items():
+        body = json.dumps(value, separators=(",", ":")).encode()
+        payloads.append((name, body))
+    header = {
+        "schema": CHECKPOINT_SCHEMA,
+        "sections": [
+            {"name": name, "length": len(body), "crc32": zlib.crc32(body)}
+            for name, body in payloads
+        ],
+    }
+    blob = bytearray()
+    blob += CHECKPOINT_MAGIC
+    blob += (json.dumps(header, separators=(",", ":")) + "\n").encode()
+    for _, body in payloads:
+        blob += body
+    atomic_write_bytes(path, bytes(blob), fsync=fsync)
+    return len(blob)
+
+
+def read_checkpoint_file(path: str | os.PathLike) -> dict[str, object]:
+    """Read and fully verify one checkpoint container.
+
+    Raises :class:`CheckpointCorruptError` on any integrity failure (missing
+    file is reported as corruption too, so generation fallback handles a
+    deleted-but-indexed checkpoint uniformly).
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise CheckpointCorruptError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not raw.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointCorruptError(f"{path}: bad magic (not a checkpoint container)")
+    body = raw[len(CHECKPOINT_MAGIC):]
+    newline = body.find(b"\n")
+    if newline < 0:
+        raise CheckpointCorruptError(f"{path}: truncated before the header")
+    try:
+        header = json.loads(body[:newline].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"{path}: unreadable header: {exc}") from exc
+    schema = header.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointCorruptError(
+            f"{path}: unsupported checkpoint schema {schema!r} "
+            f"(this reader supports {CHECKPOINT_SCHEMA})"
+        )
+    directory = header.get("sections")
+    if not isinstance(directory, list):
+        raise CheckpointCorruptError(f"{path}: header carries no section directory")
+
+    sections: dict[str, object] = {}
+    offset = newline + 1
+    for entry in directory:
+        name, length, crc = entry["name"], int(entry["length"]), int(entry["crc32"])
+        payload = body[offset : offset + length]
+        if len(payload) != length:
+            raise CheckpointCorruptError(
+                f"{path}: section {name!r} truncated "
+                f"({len(payload)} of {length} bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CheckpointCorruptError(f"{path}: section {name!r} failed its CRC32")
+        try:
+            sections[name] = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(
+                f"{path}: section {name!r} is not valid JSON: {exc}"
+            ) from exc
+        offset += length
+    if offset != len(body):
+        raise CheckpointCorruptError(
+            f"{path}: {len(body) - offset} trailing bytes after the last section"
+        )
+    return sections

@@ -1,0 +1,88 @@
+"""Crash recovery: rebuild a run from its store directory and finish it.
+
+``resume(run_dir, objective)`` is the whole recovery story:
+
+1. the manifest is loaded and its serialized config rebuilt (an explicitly
+   supplied config is diffed against it field by field — a mismatch on any
+   trajectory-affecting field is an error that *names the fields*, in the
+   reject-early style of the rest of config validation);
+2. the ensemble is reconstructed exactly as the original run built it;
+3. the newest verifiable checkpoint is restored (a corrupted generation
+   falls back to the previous one) and the journal suffix becomes the
+   replay-verification ledger;
+4. training re-runs to completion — bit-exact with the uninterrupted run,
+   because every stochastic stream resumes from its captured position.
+
+The objective is the one run input that cannot be serialized (it closes
+over the problem Hamiltonian); the caller supplies it, and the first
+replayed update cross-checks it against the journal.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from .checkpoint import TrainingCheckpointer
+from .store import RunDirectory, config_diff, config_from_dict, config_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.ensemble import EQCConfig
+    from ..core.history import TrainingHistory
+    from ..core.objective import VQAObjective
+
+__all__ = ["resume"]
+
+
+def resume(
+    run_dir: str | os.PathLike | RunDirectory,
+    objective: "VQAObjective",
+    config: "EQCConfig | None" = None,
+) -> "TrainingHistory":
+    """Resume one stored run to completion and return its final history.
+
+    A run that already completed returns its stored history directly.  A
+    ``config`` argument is optional — the manifest's serialized config is
+    authoritative — and serves as a cross-check: any trajectory-affecting
+    field that differs raises ``ValueError`` naming the differing fields.
+    """
+    from ..core.ensemble import EQCEnsemble
+
+    run = run_dir if isinstance(run_dir, RunDirectory) else RunDirectory(run_dir)
+    manifest = run.manifest()
+    if manifest.get("status") == "complete":
+        return run.history()
+
+    saved = manifest["config"]
+    if config is not None:
+        differing = config_diff(config_to_dict(config), saved)
+        if differing:
+            raise ValueError(
+                f"config mismatch against run {run.run_id!r} "
+                f"(hash {manifest.get('config_hash', '?')[:12]}): the fields "
+                f"{differing} differ from the stored manifest; resume must "
+                f"use the run's own configuration"
+            )
+    run_config = config_from_dict(saved)
+
+    ensemble = EQCEnsemble(objective, run_config)
+    if objective.num_parameters != len(manifest["initial_parameters"]):
+        raise ValueError(
+            f"objective has {objective.num_parameters} parameters but run "
+            f"{run.run_id!r} was trained with "
+            f"{len(manifest['initial_parameters'])}"
+        )
+    checkpointer = TrainingCheckpointer(
+        run,
+        checkpoint_every=int(run_config.checkpoint_every),
+        retention=int(run_config.checkpoint_retention),
+        provider=ensemble.provider,
+        injector=ensemble.fault_injector,
+        resume=True,
+    )
+    return ensemble.train(
+        initial_parameters=manifest["initial_parameters"],
+        num_epochs=int(manifest["num_epochs"]),
+        record_every=int(manifest["record_every"]),
+        _checkpointer=checkpointer,
+    )

@@ -1,0 +1,317 @@
+"""End-to-end recovery goldens: crash → resume must be bit-exact.
+
+These tests pin the whole durability contract: a run interrupted at any
+point resumes from its newest valid checkpoint, replays the journal suffix
+with bit-for-bit verification, and finishes with a history identical to the
+run that was never interrupted — with and without an active fault plan.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro import (
+    EQCConfig,
+    EQCEnsemble,
+    EnergyObjective,
+    FaultPlan,
+    OutageWindow,
+    RetryPolicy,
+    resume,
+)
+from repro.persist.checkpoint import JournalDivergenceError, TrainingCheckpointer
+from repro.persist.journal import read_journal
+from repro.persist.store import RunDirectory, RunStore
+
+NUM_EPOCHS = 5
+SHOTS = 64
+SEED = 1
+DEVICES = ("x2", "Belem")
+
+FAULT_PLAN = FaultPlan(
+    transient_failure_rate=0.08,
+    result_timeout_rate=0.05,
+    result_delay_seconds=120.0,
+    outages=(OutageWindow(device="Belem", start=2.0, duration=3.0),),
+    seed=3,
+)
+
+
+def history_key(history):
+    """Everything the resume-exactness golden compares, bitwise.
+
+    ``noisy_loss`` is NaN when no noisy evaluation ran; NaN never compares
+    equal to itself, so it is normalized to ``None`` for the comparison.
+    """
+    import math
+
+    def noisy(value):
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return None
+        return value
+
+    return [
+        (
+            record.epoch,
+            record.loss,
+            noisy(record.noisy_loss),
+            tuple(record.parameters),
+            record.sim_time_hours,
+            tuple(sorted(record.weights.items())),
+        )
+        for record in history.records
+    ]
+
+
+def make_config(tmp_path, faults=False, **overrides):
+    kwargs = dict(
+        device_names=DEVICES if not faults else DEVICES + ("Bogota",),
+        shots=SHOTS,
+        seed=SEED,
+        checkpoint_every=1,
+        run_store=str(tmp_path),
+    )
+    if faults:
+        kwargs.update(fault_plan=FAULT_PLAN, retry_policy=RetryPolicy(max_attempts=4))
+    kwargs.update(overrides)
+    return EQCConfig(**kwargs)
+
+
+class _Crash(Exception):
+    pass
+
+
+def train_until_crash(objective, config, theta0, crash_after_checkpoints):
+    """Run a checkpointed training and kill it after N checkpoints."""
+    original = TrainingCheckpointer.after_iteration
+
+    def crashing(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        if self.checkpoints_written >= crash_after_checkpoints:
+            raise _Crash()
+
+    TrainingCheckpointer.after_iteration = crashing
+    try:
+        with pytest.raises(_Crash):
+            EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+    finally:
+        TrainingCheckpointer.after_iteration = original
+
+
+@pytest.fixture(scope="module")
+def theta0(vqe_problem):
+    return vqe_problem.random_initial_parameters(seed=7)
+
+
+@pytest.fixture(scope="module")
+def objective(vqe_problem):
+    return EnergyObjective(vqe_problem.estimator)
+
+
+@pytest.fixture(scope="module")
+def plain_history(objective, theta0):
+    """The never-checkpointed, never-interrupted reference run."""
+    config = EQCConfig(device_names=DEVICES, shots=SHOTS, seed=SEED)
+    return EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+
+
+@pytest.fixture(scope="module")
+def faulted_history(objective, theta0, tmp_path_factory):
+    """Uninterrupted checkpointed run under the chaos plan."""
+    store = tmp_path_factory.mktemp("faulted-baseline")
+    config = make_config(store, faults=True)
+    return EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+
+
+class TestUninterrupted:
+    def test_checkpointing_does_not_perturb_training(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        config = make_config(tmp_path)
+        history = EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+        assert history_key(history) == history_key(plain_history)
+
+    def test_run_store_artifacts(self, objective, theta0, tmp_path):
+        config = make_config(tmp_path)
+        history = EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+        run = RunStore(tmp_path).load_run("run-000001")
+        assert run.status() == "complete"
+        assert run.manifest()["summary"]["total_updates"] == history.total_updates
+        journal = read_journal(run.journal_path)
+        assert journal.committed_updates == history.total_updates
+        assert journal.torn_tail_bytes == 0
+        # Stored history round-trips exactly.
+        assert history_key(run.history()) == history_key(history)
+        assert run.history().metadata == history.metadata
+
+    def test_retention_bounds_generations(self, objective, theta0, tmp_path):
+        config = make_config(tmp_path, checkpoint_retention=2)
+        EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+        run = RunStore(tmp_path).load_run("run-000001")
+        names = [p.name for p in run.checkpoint_paths()]
+        assert names == ["ckpt-000004.eqc", "ckpt-000005.eqc"]
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_after", [1, 3])
+    def test_resume_is_bit_exact(
+        self, objective, theta0, plain_history, tmp_path, crash_after
+    ):
+        config = make_config(tmp_path)
+        train_until_crash(objective, config, theta0, crash_after)
+        run = RunStore(tmp_path).load_run("run-000001")
+        assert run.status() == "running"
+        assert len(run.checkpoint_paths()) == crash_after
+
+        history = resume(run, objective)
+        assert history_key(history) == history_key(plain_history)
+        assert run.status() == "complete"
+        assert history_key(run.history()) == history_key(history)
+
+    def test_resume_completed_run_returns_stored_history(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        config = make_config(tmp_path)
+        train_until_crash(objective, config, theta0, 2)
+        run = RunStore(tmp_path).load_run("run-000001")
+        first = resume(run, objective)
+        # Second resume is a no-op read of history.json, not a re-train.
+        second = resume(run, objective)
+        assert history_key(second) == history_key(first) == history_key(plain_history)
+
+    def test_crash_before_first_checkpoint_restarts(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        # Kill the run before any checkpoint exists: recovery restarts from
+        # scratch with the whole journal as the replay-verification ledger.
+        config = make_config(tmp_path, checkpoint_every=NUM_EPOCHS + 1)
+        original = TrainingCheckpointer.record_update
+
+        def crashing(self, master, outcome, weight, new_value):
+            original(self, master, outcome, weight, new_value)
+            if self.journal.records_written >= 5:
+                raise _Crash()
+
+        TrainingCheckpointer.record_update = crashing
+        try:
+            with pytest.raises(_Crash):
+                EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+        finally:
+            TrainingCheckpointer.record_update = original
+
+        run = RunStore(tmp_path).load_run("run-000001")
+        assert run.checkpoint_paths() == []
+        assert read_journal(run.journal_path).committed_updates == 5
+        history = resume(run, objective)
+        assert history_key(history) == history_key(plain_history)
+
+    def test_config_mismatch_names_fields(self, objective, theta0, tmp_path):
+        config = make_config(tmp_path)
+        train_until_crash(objective, config, theta0, 1)
+        run = RunStore(tmp_path).load_run("run-000001")
+        drifted = make_config(tmp_path, seed=SEED + 1, shots=SHOTS * 2)
+        with pytest.raises(ValueError, match=r"\['seed', 'shots'\]"):
+            resume(run, objective, config=drifted)
+
+
+class TestFaultPlanResume:
+    def test_resume_under_chaos_is_bit_exact(
+        self, objective, theta0, faulted_history, tmp_path
+    ):
+        config = make_config(tmp_path, faults=True)
+        train_until_crash(objective, config, theta0, 2)
+        run = RunStore(tmp_path).load_run("run-000001")
+        history = resume(run, objective)
+        assert history_key(history) == history_key(faulted_history)
+        # The resilience metadata must survive recovery identically too:
+        # fault counters, breaker transitions, provider-side fault counts.
+        assert history.metadata["fault_stats"] == faulted_history.metadata["fault_stats"]
+        assert history.metadata["breakers"] == faulted_history.metadata["breakers"]
+        assert (
+            history.metadata["provider_faults"]
+            == faulted_history.metadata["provider_faults"]
+        )
+
+
+class TestCorruptionFallback:
+    def _crashed_run(self, objective, theta0, tmp_path):
+        config = make_config(tmp_path)
+        train_until_crash(objective, config, theta0, 3)
+        return RunStore(tmp_path).load_run("run-000001")
+
+    def test_corrupted_latest_falls_back_one_generation(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        run = self._crashed_run(objective, theta0, tmp_path)
+        latest = run.checkpoint_paths()[-1]
+        blob = bytearray(latest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        latest.write_bytes(bytes(blob))
+
+        history = resume(run, objective)
+        assert history_key(history) == history_key(plain_history)
+
+    def test_fallback_is_recorded(self, objective, theta0, tmp_path):
+        run = self._crashed_run(objective, theta0, tmp_path)
+        latest = run.checkpoint_paths()[-1]
+        latest.write_bytes(b"EQCCKPT\ngarbage")
+        checkpointer = TrainingCheckpointer(
+            run, checkpoint_every=1, provider=None, resume=True
+        )
+        try:
+            assert checkpointer.fallbacks == [str(latest)]
+            assert checkpointer.has_restore
+        finally:
+            checkpointer.close()
+
+    def test_all_generations_corrupt_restarts_from_scratch(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        run = self._crashed_run(objective, theta0, tmp_path)
+        for path in run.checkpoint_paths():
+            path.write_bytes(b"not a checkpoint")
+        history = resume(run, objective)
+        assert history_key(history) == history_key(plain_history)
+
+    def test_torn_journal_tail_is_tolerated(
+        self, objective, theta0, plain_history, tmp_path
+    ):
+        run = self._crashed_run(objective, theta0, tmp_path)
+        with open(run.journal_path, "ab") as fh:
+            fh.write(b'deadbeef {"update": 999, "gra')
+        history = resume(run, objective)
+        assert history_key(history) == history_key(plain_history)
+
+
+class TestJournalDivergence:
+    def test_tampered_journal_record_is_detected(self, objective, theta0, tmp_path):
+        # Crash a few updates *past* the second checkpoint so the journal has
+        # a replay suffix (a crash exactly at a checkpoint leaves none).
+        config = make_config(tmp_path)
+        original = TrainingCheckpointer.record_update
+
+        def crashing(self, master, outcome, weight, new_value):
+            original(self, master, outcome, weight, new_value)
+            if self.checkpoints_written >= 2 and self.journal.records_written >= 35:
+                raise _Crash()
+
+        TrainingCheckpointer.record_update = crashing
+        try:
+            with pytest.raises(_Crash):
+                EQCEnsemble(objective, config).train(theta0, num_epochs=NUM_EPOCHS)
+        finally:
+            TrainingCheckpointer.record_update = original
+        run = RunStore(tmp_path).load_run("run-000001")
+
+        # Rewrite the last journal record with a perturbed gradient but a
+        # *valid* CRC frame — only replay verification can catch this.
+        lines = run.journal_path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[-1][9:])
+        record["gradient"] = record["gradient"] + 1.0
+        body = json.dumps(record, separators=(",", ":")).encode()
+        lines[-1] = b"%08x " % zlib.crc32(body) + body + b"\n"
+        run.journal_path.write_bytes(b"".join(lines))
+
+        with pytest.raises(JournalDivergenceError, match="gradient"):
+            resume(run, objective)
