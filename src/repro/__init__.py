@@ -98,8 +98,10 @@ from .persist import (
     resume,
 )
 from .sched import (
+    BackpressurePolicy,
     CalibrationAwarePolicy,
     CloudScheduler,
+    DeadlinePolicy,
     EventKernel,
     FairSharePolicy,
     FifoPolicy,
@@ -107,7 +109,9 @@ from .sched import (
     PriorityPolicy,
     SchedulingPolicy,
     StatisticalQueuePolicy,
+    TournamentConfig,
     WorkloadGenerator,
+    run_tournament,
 )
 from .simulator import (
     Counts,
@@ -203,8 +207,12 @@ __all__ = [
     "FairSharePolicy",
     "LeastLoadedPolicy",
     "CalibrationAwarePolicy",
+    "BackpressurePolicy",
+    "DeadlinePolicy",
     "StatisticalQueuePolicy",
     "WorkloadGenerator",
+    "TournamentConfig",
+    "run_tournament",
     # fault injection and resilience
     "FaultPlan",
     "OutageWindow",

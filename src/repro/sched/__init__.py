@@ -2,9 +2,12 @@
 
 The ``sched`` layer replaces the closed-form queue-delay draws of
 :mod:`repro.cloud.queueing` with an actual simulation of contention: one
-event kernel, capacity-1 device queues with calibration-window downtime,
-pluggable scheduling policies, and a Poisson background-tenant workload, so
-EQC training jobs compete with community traffic for the same devices.
+event kernel (sorted-run batched admission, millions of events per second),
+capacity-1 device queues with calibration-window downtime, pluggable
+scheduling policies (including backpressure shedding and EDF deadlines), a
+chunk-vectorized Poisson background-tenant workload, and a policy
+tournament harness (:mod:`repro.sched.tournament`) that races the policies
+across a (devices x tenants x policy) grid at fleet scale.
 
 The statistical model survives as :class:`StatisticalQueuePolicy`, the
 provider's default path, keeping every pre-scheduler seeded history
@@ -14,7 +17,9 @@ bit-exact.
 from .kernel import Event, EventKernel
 from .policies import (
     POLICY_REGISTRY,
+    BackpressurePolicy,
     CalibrationAwarePolicy,
+    DeadlinePolicy,
     FairSharePolicy,
     FifoPolicy,
     LeastLoadedPolicy,
@@ -25,6 +30,13 @@ from .policies import (
 )
 from .queues import DeviceServiceQueue, SchedJob
 from .scheduler import DEFAULT_DOWNTIME_SECONDS, CloudScheduler
+from .tournament import (
+    FULL_CONFIG,
+    SMOKE_CONFIG,
+    TournamentConfig,
+    publish_tournament,
+    run_tournament,
+)
 from .workload import WorkloadGenerator
 
 __all__ = [
@@ -38,10 +50,17 @@ __all__ = [
     "FairSharePolicy",
     "LeastLoadedPolicy",
     "CalibrationAwarePolicy",
+    "BackpressurePolicy",
+    "DeadlinePolicy",
     "StatisticalQueuePolicy",
     "POLICY_REGISTRY",
     "resolve_policy",
     "WorkloadGenerator",
     "CloudScheduler",
     "DEFAULT_DOWNTIME_SECONDS",
+    "TournamentConfig",
+    "SMOKE_CONFIG",
+    "FULL_CONFIG",
+    "run_tournament",
+    "publish_tournament",
 ]

@@ -1,8 +1,12 @@
 """Pluggable scheduling policies: who runs next, and on which device.
 
-A :class:`SchedulingPolicy` answers the two questions a multi-tenant cloud
+A :class:`SchedulingPolicy` answers the three questions a multi-tenant cloud
 scheduler faces:
 
+* **admission** — when a job reaches a device, does it enter the waiting
+  list at all (:meth:`SchedulingPolicy.admit`; the default replicates the
+  fixed background-job cap, :class:`BackpressurePolicy` sheds load smoothly
+  against queue depth instead),
 * **ordering** — when a device frees up, which waiting job starts
   (:meth:`SchedulingPolicy.next_job`), and
 * **placement** — when a job arrives without a pinned device, where it goes
@@ -24,6 +28,7 @@ family.)
 
 from __future__ import annotations
 
+import zlib
 from typing import Mapping, Sequence
 
 from ..cloud.queueing import StatisticalQueuePolicy
@@ -36,16 +41,49 @@ __all__ = [
     "FairSharePolicy",
     "LeastLoadedPolicy",
     "CalibrationAwarePolicy",
+    "BackpressurePolicy",
+    "DeadlinePolicy",
     "StatisticalQueuePolicy",
     "POLICY_REGISTRY",
     "resolve_policy",
 ]
 
 
+def _shed_hash(job_id: int) -> float:
+    """Deterministic uniform-ish value in [0, 1) from a job id.
+
+    Knuth's multiplicative hash: consecutive job ids (the common case — the
+    scheduler assigns them monotonically) scatter across the unit interval,
+    so fractional shedding drops an unbiased sample of a burst rather than a
+    contiguous run of it, while staying a pure function of the id — two runs
+    shed exactly the same jobs.
+    """
+    return ((job_id * 2654435761) & 0xFFFFFFFF) / 4294967296.0
+
+
 class SchedulingPolicy:
-    """Base policy: FIFO ordering, least-backlog placement for unpinned jobs."""
+    """Base policy: capped admission, FIFO ordering, least-backlog placement."""
 
     name = "base"
+
+    def admit(
+        self,
+        job: SchedJob,
+        queue: DeviceServiceQueue,
+        now: float,
+    ) -> bool:
+        """Whether ``job`` may join ``queue.waiting`` (False = rejected).
+
+        The default is the classic bounded queue: background jobs bounce off
+        the device's ``max_queue_length`` cap, foreground (EQC) jobs always
+        enter.  Policies may also annotate the job here (e.g.
+        :class:`DeadlinePolicy` stamps ``job.deadline``).
+        """
+        return (
+            job.foreground
+            or queue.max_queue_length is None
+            or queue.queue_length < queue.max_queue_length
+        )
 
     def next_job(
         self,
@@ -85,7 +123,13 @@ class PriorityPolicy(SchedulingPolicy):
     name = "priority"
 
     def next_job(self, waiting, queue, now):
-        return min(range(len(waiting)), key=lambda i: (-waiting[i].priority, i))
+        best = 0
+        best_priority = waiting[0].priority
+        for i in range(1, len(waiting)):
+            p = waiting[i].priority
+            if p > best_priority:
+                best, best_priority = i, p
+        return best
 
 
 class FairSharePolicy(SchedulingPolicy):
@@ -100,10 +144,14 @@ class FairSharePolicy(SchedulingPolicy):
 
     def next_job(self, waiting, queue, now):
         given = queue.service_given
-        return min(
-            range(len(waiting)),
-            key=lambda i: (given.get(waiting[i].tenant, 0.0), i),
-        )
+        get = given.get
+        best = 0
+        best_given = get(waiting[0].tenant, 0.0)
+        for i in range(1, len(waiting)):
+            g = get(waiting[i].tenant, 0.0)
+            if g < best_given:
+                best, best_given = i, g
+        return best
 
 
 class LeastLoadedPolicy(SchedulingPolicy):
@@ -134,6 +182,106 @@ class CalibrationAwarePolicy(SchedulingPolicy):
         return min(queues.values(), key=key).name
 
 
+class BackpressurePolicy(SchedulingPolicy):
+    """Shed background load smoothly against queue depth (CodaLab-style).
+
+    Instead of a hard cliff at the admission cap, the gate opens fully below
+    ``low_watermark`` waiting jobs, closes fully at ``high_watermark``, and
+    sheds a deterministic fraction of arrivals in between (the fill fraction,
+    compared against a multiplicative hash of the job id — no RNG, so two
+    runs shed identical jobs).  Early shedding keeps queues short: what *is*
+    admitted waits far less, and foreground jobs — always admitted — see a
+    near-empty device instead of a saturated one.  The hard cap still holds
+    as a final backstop.  Ordering stays FIFO.
+    """
+
+    name = "backpressure"
+
+    def __init__(self, low_watermark: int = 8, high_watermark: int = 24) -> None:
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError("need 0 <= low_watermark < high_watermark")
+        self.low_watermark = int(low_watermark)
+        self.high_watermark = int(high_watermark)
+
+    def admit(self, job, queue, now):
+        if job.foreground:
+            return True
+        depth = queue.queue_length
+        cap = queue.max_queue_length
+        if cap is not None and depth >= cap:
+            return False
+        if depth < self.low_watermark:
+            return True
+        if depth >= self.high_watermark:
+            return False
+        fill = (depth - self.low_watermark) / (
+            self.high_watermark - self.low_watermark
+        )
+        return _shed_hash(job.job_id) >= fill
+
+    def __repr__(self) -> str:
+        return (
+            f"BackpressurePolicy(low={self.low_watermark}, "
+            f"high={self.high_watermark})"
+        )
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first with per-tenant deadline tiers.
+
+    Admission stamps every job with an absolute deadline: foreground jobs
+    get a tight slack (EQC training epochs are latency-critical), background
+    tenants land in one of ``tier_slacks`` by a stable hash of their name —
+    a fixed community mix of interactive, batch, and bulk users.  When the
+    device frees up, the waiting job with the earliest deadline starts, so
+    interactive work overtakes bulk work exactly when it matters and the
+    bulk tier absorbs the queueing.  Admission keeps the default cap.
+    """
+
+    name = "deadline"
+
+    def __init__(
+        self,
+        foreground_slack: float = 600.0,
+        tier_slacks: Sequence[float] = (900.0, 3600.0, 7200.0),
+    ) -> None:
+        if foreground_slack <= 0 or any(s <= 0 for s in tier_slacks):
+            raise ValueError("deadline slacks must be positive")
+        self.foreground_slack = float(foreground_slack)
+        self.tier_slacks = tuple(float(s) for s in tier_slacks)
+
+    def slack_for(self, job: SchedJob) -> float:
+        if job.foreground:
+            return self.foreground_slack
+        tier = zlib.crc32(job.tenant.encode()) % len(self.tier_slacks)
+        return self.tier_slacks[tier]
+
+    def admit(self, job, queue, now):
+        if not super().admit(job, queue, now):
+            return False
+        if job.deadline is None:
+            job.deadline = float(now) + self.slack_for(job)
+        return True
+
+    def next_job(self, waiting, queue, now):
+        best = 0
+        first = waiting[0].deadline
+        best_deadline = first if first is not None else float("inf")
+        for i in range(1, len(waiting)):
+            d = waiting[i].deadline
+            if d is None:
+                d = float("inf")
+            if d < best_deadline:
+                best, best_deadline = i, d
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"DeadlinePolicy(foreground={self.foreground_slack}, "
+            f"tiers={self.tier_slacks})"
+        )
+
+
 POLICY_REGISTRY: dict[str, type[SchedulingPolicy]] = {
     policy.name: policy
     for policy in (
@@ -142,6 +290,8 @@ POLICY_REGISTRY: dict[str, type[SchedulingPolicy]] = {
         FairSharePolicy,
         LeastLoadedPolicy,
         CalibrationAwarePolicy,
+        BackpressurePolicy,
+        DeadlinePolicy,
     )
 }
 

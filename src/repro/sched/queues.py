@@ -67,6 +67,9 @@ class SchedJob:
         service: optional physics callback; called once with the service
             start time, must return the elapsed device seconds.  Tenant jobs
             leave this ``None`` and get the device-clock default.
+        deadline: absolute completion target (seconds of simulated time),
+            assigned by deadline-aware policies at admission; ``None`` under
+            every other policy.
     """
 
     job_id: int
@@ -81,6 +84,7 @@ class SchedJob:
     finish_time: float | None = None
     service_seconds: float = 0.0
     rejected: bool = False
+    deadline: float | None = None
 
     @property
     def done(self) -> bool:
@@ -134,9 +138,18 @@ class DeviceServiceQueue:
         #: overloaded device (offered load > 1) grows its backlog without
         #: bound and foreground latency diverges; real clouds bound the
         #: queue, so the simulation does too.  Foreground jobs always enter.
+        #: The check itself lives in :meth:`SchedulingPolicy.admit`, so
+        #: policies like backpressure can substitute their own gate.
         self.max_queue_length = max_queue_length
 
         self.waiting: list[SchedJob] = []
+        #: Running sum of waiting circuits, so :meth:`backlog_seconds` is
+        #: O(1) — placement scans every queue per unpinned arrival, which
+        #: would otherwise cost O(fleet x queue depth) per job.
+        self._waiting_circuits = 0
+        #: Per-circuit estimate at the device's calibrated speed (waiting
+        #: jobs' true durations are only known once they start).
+        self._slot_estimate = job_slot_circuit_seconds(qpu.spec.base_job_seconds)
         self.in_service: SchedJob | None = None
         #: Device-local timeline: when the current/last service ends.
         self.free_at = 0.0
@@ -172,8 +185,7 @@ class DeviceServiceQueue:
         true durations are only known once they start).
         """
         horizon = max(self.free_at, self.downtime_until) - float(now)
-        slot = job_slot_circuit_seconds(self.qpu.spec.base_job_seconds)
-        estimated = sum(slot * job.num_circuits for job in self.waiting)
+        estimated = self._slot_estimate * self._waiting_circuits
         return max(0.0, horizon) + estimated
 
     def in_downtime(self, now: float) -> bool:
@@ -267,6 +279,7 @@ class DeviceServiceQueue:
             preempted.start_time = None
             preempted.service_seconds = 0.0
             self.waiting.insert(0, preempted)
+            self._waiting_circuits += preempted.num_circuits
             self.in_service = None
             self.free_at = now
         if _telemetry.enabled:
@@ -292,11 +305,7 @@ class DeviceServiceQueue:
     def on_arrival(self, job: SchedJob, now: float) -> None:
         """Admit a job to the waiting list and start it if the device is free."""
         job.device_name = self.name
-        if (
-            not job.foreground
-            and self.max_queue_length is not None
-            and self.queue_length >= self.max_queue_length
-        ):
+        if not self.policy.admit(job, self, now):
             job.rejected = True
             self.jobs_rejected += 1
             if _telemetry.enabled:
@@ -305,6 +314,7 @@ class DeviceServiceQueue:
                 ).inc()
             return
         self.waiting.append(job)
+        self._waiting_circuits += job.num_circuits
         if self.in_service is None:
             # A late-replayed submission (arrival behind the device's local
             # timeline) cannot rewind committed work: it queues from free_at.
@@ -319,6 +329,7 @@ class DeviceServiceQueue:
             return
         index = self.policy.next_job(self.waiting, self, now)
         job = self.waiting.pop(index)
+        self._waiting_circuits -= job.num_circuits
         self.in_service = job
         job.start_time = now
         duration = self._service_duration(job, now)

@@ -12,15 +12,25 @@ Arrival rates follow the same structure as the statistical
 the fleet-wide tenant rate scaled by the device's ``popularity`` (users pile
 onto well-rated devices) and its diurnal ``congestion_factor`` (community
 load swings by time of day).  The process is a piecewise-homogeneous
-approximation of the non-homogeneous Poisson process: each inter-arrival gap
-is drawn at the rate in force when the previous arrival fired, which is
-accurate because the rate varies on a multi-hour scale while gaps are
-seconds to minutes.
+approximation of the non-homogeneous Poisson process, generated in
+**vectorized chunks**: the rate is frozen at the chunk's start time, a whole
+block of inter-arrival gaps is drawn with one ``numpy`` call and accumulated
+into absolute timestamps, and the tenant/batch-size/priority marks of the
+chunk are drawn as three array calls from a second per-device stream.  The
+chunk spans roughly ``chunk_refresh_seconds`` of simulated time (clamped to
+``max_chunk`` arrivals), so the rate still tracks the multi-hour diurnal
+curve while the kernel admits arrivals thousands at a time through
+:meth:`~repro.sched.kernel.EventKernel.schedule_batch` instead of one heap
+push and one RNG scalar draw per job.
 
-Determinism: every device draws from its own kernel RNG stream
-(``workload/<device>``), so the traffic on one device is a pure function of
-the kernel seed — independent of fleet composition order or of how far other
-devices have been simulated.
+Determinism: every device draws from two kernel RNG streams of its own
+(``workload/<device>`` for gaps, ``workload/<device>/marks`` for job marks),
+so the traffic on one device is a pure function of the kernel seed —
+independent of fleet composition order or of how far other devices have been
+simulated.  Batched and sequential admission (``batch_arrivals``) share the
+same chunk generator, so they consume the RNG identically and agree
+bit-for-bit on every arrival timestamp and job mark — a property pinned by
+``tests/test_sched/test_workload.py``.
 """
 
 from __future__ import annotations
@@ -39,6 +49,126 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["WorkloadGenerator"]
 
 
+class _DeviceArrivalStream:
+    """Chunked arrival state for one device: timestamps, marks, a cursor.
+
+    One chunk = one frozen-rate block of presorted arrival timestamps plus
+    the per-arrival marks (tenant, circuits, priority) drawn up front.  The
+    stream refills itself: firing the last arrival of a chunk generates and
+    admits the next one, with the rate re-evaluated at that arrival's time.
+    """
+
+    __slots__ = (
+        "workload",
+        "scheduler",
+        "queue",
+        "gaps_rng",
+        "marks_rng",
+        "times",
+        "tenants",
+        "circuits",
+        "priorities",
+        "cursor",
+    )
+
+    def __init__(
+        self,
+        workload: "WorkloadGenerator",
+        scheduler: "CloudScheduler",
+        queue: DeviceServiceQueue,
+        gaps_rng: np.random.Generator,
+        marks_rng: np.random.Generator,
+    ) -> None:
+        self.workload = workload
+        self.scheduler = scheduler
+        self.queue = queue
+        self.gaps_rng = gaps_rng
+        self.marks_rng = marks_rng
+        self.times: list[float] = []
+        self.tenants: list[int] = []
+        self.circuits: list[int] = []
+        self.priorities: list[int] = []
+        self.cursor = 0
+
+    # ------------------------------------------------------------------
+    def generate_chunk(self, t0: float) -> bool:
+        """Draw the next chunk starting from time ``t0``; False when idle.
+
+        RNG protocol (the bit-exactness contract): from the gaps stream, one
+        ``standard_exponential(size=K)`` call; timestamps are
+        ``t0 + cumsum(gaps / rate)``.  From the marks stream, exactly three
+        calls — ``integers(num_tenants, size=K)``, ``integers(lo, hi+1,
+        size=K)``, ``integers(max_priority+1, size=K)`` — in that order.
+        """
+        workload = self.workload
+        rate = workload.arrival_rate(self.queue.queue_model, t0)
+        if rate <= 0.0:
+            return False
+        size = int(rate * workload.chunk_refresh_seconds)
+        size = max(1, min(workload.max_chunk, size))
+        gaps = self.gaps_rng.standard_exponential(size)
+        times = t0 + np.cumsum(gaps / rate)
+        lo, hi = workload.circuit_range
+        self.times = times.tolist()
+        self.tenants = self.marks_rng.integers(
+            workload.num_tenants, size=size
+        ).tolist()
+        self.circuits = self.marks_rng.integers(lo, hi + 1, size=size).tolist()
+        self.priorities = self.marks_rng.integers(
+            workload.max_priority + 1, size=size
+        ).tolist()
+        self.cursor = 0
+        return True
+
+    def admit_chunk(self) -> None:
+        """Hand the current chunk's timestamps to the kernel."""
+        kernel = self.scheduler.kernel
+        if self.workload.batch_arrivals:
+            kernel.schedule_batch(
+                np.asarray(self.times),
+                self.fire,
+                priority=EVENT_PRIORITY["arrival"],
+                kind="tenant_arrival",
+            )
+        else:
+            # Sequential reference path: one event at a time, next armed by
+            # the previous one's firing.  Same chunks, same RNG, same times.
+            kernel.schedule(
+                self.times[0],
+                self.fire,
+                priority=EVENT_PRIORITY["arrival"],
+                kind="tenant_arrival",
+            )
+
+    # ------------------------------------------------------------------
+    def fire(self, now: float) -> None:
+        """One arrival: build the job from precomputed marks, inject, refill."""
+        workload = self.workload
+        i = self.cursor
+        self.cursor = i + 1
+        job = SchedJob(
+            job_id=self.scheduler.next_job_id(),
+            tenant=workload.tenant_name(self.tenants[i]),
+            device_name=self.queue.name,
+            arrival_time=now,
+            num_circuits=self.circuits[i],
+            priority=self.priorities[i],
+        )
+        workload.jobs_injected += 1
+        self.queue.on_arrival(job, now)
+        if self.cursor >= len(self.times):
+            # Chunk exhausted: refill with the rate in force at this arrival.
+            if self.generate_chunk(now):
+                self.admit_chunk()
+        elif not workload.batch_arrivals:
+            self.scheduler.kernel.schedule(
+                self.times[self.cursor],
+                self.fire,
+                priority=EVENT_PRIORITY["arrival"],
+                kind="tenant_arrival",
+            )
+
+
 class WorkloadGenerator:
     """Poisson background tenant traffic across a device fleet.
 
@@ -49,6 +179,20 @@ class WorkloadGenerator:
         circuit_range: inclusive (lo, hi) batch size of one tenant job.
         max_priority: tenant jobs draw a priority in [0, max_priority]
             (0 keeps every tenant job at the EQC default priority).
+        chunk_refresh_seconds: target simulated span of one vectorized
+            arrival chunk — the rate is frozen within a chunk, so this is
+            the resolution at which the diurnal curve is tracked.
+        max_chunk: hard cap on arrivals per chunk (bounds memory and how
+            long a hot device can outrun a rate change).
+        spread_load: when True, per-device rates are normalized by the
+            fleet's total popularity, so a fixed tenant community *spreads*
+            across however many devices are registered instead of offering
+            the full community load to every device independently.  This is
+            the fleet-scaling mode the tournament sweeps; the default False
+            keeps the historical per-device semantics.
+        batch_arrivals: admit chunks via ``schedule_batch`` (fast path).
+            False replays the identical chunks one kernel event at a time —
+            the reference mode the bit-exactness tests compare against.
     """
 
     def __init__(
@@ -57,6 +201,10 @@ class WorkloadGenerator:
         jobs_per_tenant_hour: float = 1.0,
         circuit_range: tuple[int, int] = (2, 8),
         max_priority: int = 0,
+        chunk_refresh_seconds: float = 900.0,
+        max_chunk: int = 4096,
+        spread_load: bool = False,
+        batch_arrivals: bool = True,
     ) -> None:
         if num_tenants < 0:
             raise ValueError("num_tenants must be non-negative")
@@ -67,63 +215,63 @@ class WorkloadGenerator:
             raise ValueError("circuit_range must satisfy 1 <= lo <= hi")
         if max_priority < 0:
             raise ValueError("max_priority must be non-negative")
+        if chunk_refresh_seconds <= 0:
+            raise ValueError("chunk_refresh_seconds must be positive")
+        if max_chunk < 1:
+            raise ValueError("max_chunk must be at least 1")
         self.num_tenants = int(num_tenants)
         self.jobs_per_tenant_hour = float(jobs_per_tenant_hour)
         self.circuit_range = (int(lo), int(hi))
         self.max_priority = int(max_priority)
+        self.chunk_refresh_seconds = float(chunk_refresh_seconds)
+        self.max_chunk = int(max_chunk)
+        self.spread_load = bool(spread_load)
+        self.batch_arrivals = bool(batch_arrivals)
         self.jobs_injected = 0
+        self._popularity_scale = 1.0
+        self._tenant_names: dict[int, str] = {}
 
     # ------------------------------------------------------------------
+    def tenant_name(self, index: int) -> str:
+        """Interned ``tenant<i>`` string (10k tenants → 10k cached names)."""
+        name = self._tenant_names.get(index)
+        if name is None:
+            name = f"tenant{index}"
+            self._tenant_names[index] = name
+        return name
+
     def arrival_rate(self, model: QueueModel, now: float) -> float:
         """Instantaneous arrivals/second on one device at time ``now``."""
         if self.num_tenants == 0:
             return 0.0
         base = self.num_tenants * self.jobs_per_tenant_hour / SECONDS_PER_HOUR
-        return base * model.popularity * model.congestion_factor(now)
+        return (
+            base
+            * model.popularity
+            * self._popularity_scale
+            * model.congestion_factor(now)
+        )
 
     # ------------------------------------------------------------------
     def attach(self, scheduler: "CloudScheduler") -> None:
-        """Arm the first arrival event on every registered device."""
+        """Arm the first arrival chunk on every registered device."""
         if self.num_tenants == 0:
             return
+        if self.spread_load:
+            total = sum(
+                q.queue_model.popularity for q in scheduler.queues.values()
+            )
+            self._popularity_scale = 1.0 / total if total > 0 else 1.0
+        now = scheduler.kernel.now
         for queue in scheduler.queues.values():
-            rng = scheduler.kernel.rng_stream(f"workload/{queue.name}")
-            self._schedule_next(scheduler, queue, rng, now=scheduler.kernel.now)
-
-    def _schedule_next(
-        self,
-        scheduler: "CloudScheduler",
-        queue: DeviceServiceQueue,
-        rng: np.random.Generator,
-        now: float,
-    ) -> None:
-        rate = self.arrival_rate(queue.queue_model, now)
-        if rate <= 0.0:
-            return
-        gap = float(rng.exponential(1.0 / rate))
-        scheduler.kernel.schedule(
-            now + gap,
-            lambda t: self._on_arrival(scheduler, queue, rng, t),
-            priority=EVENT_PRIORITY["arrival"],
-            kind="tenant_arrival",
-        )
-
-    def _on_arrival(
-        self,
-        scheduler: "CloudScheduler",
-        queue: DeviceServiceQueue,
-        rng: np.random.Generator,
-        now: float,
-    ) -> None:
-        lo, hi = self.circuit_range
-        job = SchedJob(
-            job_id=scheduler.next_job_id(),
-            tenant=f"tenant{int(rng.integers(self.num_tenants))}",
-            device_name=queue.name,
-            arrival_time=now,
-            num_circuits=int(rng.integers(lo, hi + 1)),
-            priority=int(rng.integers(self.max_priority + 1)),
-        )
-        self.jobs_injected += 1
-        queue.on_arrival(job, now)
-        self._schedule_next(scheduler, queue, rng, now)
+            stream = _DeviceArrivalStream(
+                workload=self,
+                scheduler=scheduler,
+                queue=queue,
+                gaps_rng=scheduler.kernel.rng_stream(f"workload/{queue.name}"),
+                marks_rng=scheduler.kernel.rng_stream(
+                    f"workload/{queue.name}/marks"
+                ),
+            )
+            if stream.generate_chunk(now):
+                stream.admit_chunk()

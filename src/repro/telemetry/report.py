@@ -23,6 +23,7 @@ from .trace import Tracer
 __all__ = [
     "jains_index",
     "percentile",
+    "tournament_table",
     "run_report",
     "render_text",
     "write_report",
@@ -62,6 +63,46 @@ def jains_index(values: Sequence[float]) -> float:
         return 1.0
     total = sum(values)
     return (total * total) / (len(values) * square_sum)
+
+
+def _parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split ``name{k=v,...}`` back into ``(name, labels)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, body = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in body[:-1].split(","):
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def tournament_table(gauges: Mapping[str, float]) -> list[dict]:
+    """Collect ``sched.tournament.*`` gauges into per-cell rows.
+
+    :func:`repro.sched.tournament.publish_tournament` writes one gauge per
+    (metric, policy, devices, tenants) combination; this inverts that into a
+    sorted list of rows, one per grid cell, each carrying its coordinates
+    plus every published metric — the shape :func:`render_text` formats as
+    the tournament table.
+    """
+    cells: dict[tuple[int, int, str], dict] = {}
+    prefix = "sched.tournament."
+    for key, value in gauges.items():
+        name, labels = _parse_metric_key(key)
+        if not name.startswith(prefix) or "policy" not in labels:
+            continue
+        coord = (
+            int(labels.get("devices", 0)),
+            int(labels.get("tenants", 0)),
+            labels["policy"],
+        )
+        row = cells.setdefault(
+            coord,
+            {"devices": coord[0], "tenants": coord[1], "policy": coord[2]},
+        )
+        row[name[len(prefix):]] = value
+    return [cells[coord] for coord in sorted(cells)]
 
 
 def run_report(
@@ -118,6 +159,21 @@ def render_text(report: Mapping) -> str:
             lines.append(
                 f"  {key:<48} n={data['count']:<8} "
                 f"{data['p50']:.4g} / {data['p95']:.4g} / {data['p99']:.4g}"
+            )
+    rows = tournament_table(report.get("gauges", {}))
+    if rows:
+        lines.append(
+            "tournament (devices x tenants x policy | epochs/h, p99 wait, "
+            "rejected, fairness):"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['devices']:>4}d {row['tenants']:>6}t "
+                f"{row['policy']:<16} "
+                f"{row.get('epochs_per_hour', 0.0):8.2f} eph | "
+                f"p99 {row.get('queue_wait_p99', 0.0):10,.0f}s | "
+                f"rej {row.get('rejected_fraction', 0.0):6.1%} | "
+                f"jain {row.get('fairness_jain', 0.0):.3f}"
             )
     if report["spans_by_category"]:
         lines.append("spans:")

@@ -90,6 +90,130 @@ class TestClockIntegration:
             EventKernel().schedule(-1.0, lambda t: None)
 
 
+class TestScheduleBatch:
+    def test_batch_returns_count_and_tracks_pending(self):
+        kernel = EventKernel()
+        assert kernel.schedule_batch([1.0, 2.0, 3.0], lambda t: None) == 3
+        assert kernel.pending == 3
+        # The whole batch occupies a single heap slot (the run cursor).
+        assert kernel.heap_size == 1
+
+    def test_empty_batch_is_a_noop(self):
+        kernel = EventKernel()
+        assert kernel.schedule_batch([], lambda t: None) == 0
+        assert kernel.pending == 0
+
+    def test_batch_validation(self):
+        kernel = EventKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule_batch([1.0, -2.0], lambda t: None)
+        with pytest.raises(ValueError):
+            kernel.schedule_batch([1.0, float("nan")], lambda t: None)
+        with pytest.raises(ValueError):
+            kernel.schedule_batch([[1.0, 2.0]], lambda t: None)
+        with pytest.raises(ValueError):
+            kernel.schedule_batch([1.0], None)
+
+    def test_unsorted_batch_fires_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_batch([5.0, 1.0, 3.0], lambda t: fired.append(t))
+        while kernel.step() is not None:
+            pass
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_batch_interleaves_with_singles(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_batch([1.0, 3.0, 5.0], lambda t: fired.append(("batch", t)))
+        kernel.schedule(2.0, lambda t: fired.append(("single", t)))
+        kernel.schedule(3.0, lambda t: fired.append(("single", t)))
+        while kernel.step() is not None:
+            pass
+        # At the t=3.0 tie the batch element wins: it was scheduled first,
+        # so its sequence number is lower — exactly as if the batch had been
+        # admitted element by element.
+        assert fired == [
+            ("batch", 1.0),
+            ("single", 2.0),
+            ("batch", 3.0),
+            ("single", 3.0),
+            ("batch", 5.0),
+        ]
+
+    def test_event_scheduled_mid_run_preempts_the_inline_burst(self):
+        """run_until_time fires consecutive run elements inline, but an
+        action that schedules an earlier event must still be overtaken."""
+        kernel = EventKernel()
+        fired = []
+
+        def on_arrival(t):
+            fired.append(("run", t))
+            if t == 1.0:
+                kernel.schedule(1.5, lambda x: fired.append(("single", x)))
+
+        kernel.schedule_batch([1.0, 2.0, 3.0], on_arrival)
+        kernel.run_until_time(10.0)
+        assert fired == [
+            ("run", 1.0),
+            ("single", 1.5),
+            ("run", 2.0),
+            ("run", 3.0),
+        ]
+
+    def test_run_until_time_leaves_late_run_elements_pending(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_batch(
+            [float(t) for t in range(1, 11)], lambda t: fired.append(t)
+        )
+        assert kernel.run_until_time(5.5) == 5
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert kernel.pending == 5
+        assert kernel.heap_size == 1
+        kernel.run_until_time(100.0)
+        assert len(fired) == 10 and kernel.pending == 0
+
+    def test_batched_and_sequential_admission_fire_identically(self):
+        times = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+
+        def run(batched):
+            kernel = EventKernel()
+            fired = []
+            if batched:
+                kernel.schedule_batch(times, lambda t: fired.append(t))
+            else:
+                for t in sorted(times):
+                    kernel.schedule(t, lambda now: fired.append(now))
+            kernel.run_until_time(100.0)
+            return fired
+
+        assert run(batched=True) == run(batched=False)
+
+
+class TestCompaction:
+    def test_cancel_storm_sweeps_dead_heap_entries(self):
+        kernel = EventKernel()
+        events = [kernel.schedule(float(i + 1), lambda t: None) for i in range(256)]
+        for event in events[:200]:
+            event.cancel()
+        assert kernel.pending == 56
+        # Dead entries are swept once they dominate, not kept forever.
+        assert kernel.heap_size < 128
+        fired = 0
+        while kernel.step() is not None:
+            fired += 1
+        assert fired == 56
+
+    def test_cancel_is_idempotent_and_safe_after_firing(self):
+        kernel = EventKernel()
+        event = kernel.schedule(1.0, lambda t: None)
+        kernel.step()
+        event.cancel()
+        event.cancel()
+        assert kernel.pending == 0
+
+
 class TestRunHelpers:
     def test_run_until_time_processes_due_events_only(self):
         kernel = EventKernel()

@@ -6,8 +6,11 @@ import pytest
 from repro.cloud.queueing import QueueModel, StatisticalQueuePolicy, queue_model_for
 from repro.devices.catalog import build_qpu
 from repro.sched import (
+    POLICY_REGISTRY,
+    BackpressurePolicy,
     CalibrationAwarePolicy,
     CloudScheduler,
+    DeadlinePolicy,
     FairSharePolicy,
     FifoPolicy,
     LeastLoadedPolicy,
@@ -147,6 +150,135 @@ class TestPlacementPolicies:
         job = scheduler.submit(device_name="Belem", arrival=0.0, duration=10.0)
         scheduler.run_until_complete(job)
         assert job.device_name == "Belem"
+
+
+class TestBackpressurePolicy:
+    def test_registered(self):
+        assert "backpressure" in POLICY_REGISTRY
+        assert isinstance(resolve_policy("backpressure"), BackpressurePolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackpressurePolicy(low_watermark=5, high_watermark=5)
+        with pytest.raises(ValueError):
+            BackpressurePolicy(low_watermark=-1, high_watermark=4)
+
+    def flood(self, scheduler, count, tenant="A"):
+        jobs = [
+            scheduler.submit(
+                device_name="Belem",
+                arrival=0.0,
+                duration=500.0,
+                tenant=tenant,
+                foreground=False,
+            )
+            for _ in range(count)
+        ]
+        scheduler.run_until_time(1.0)
+        return jobs
+
+    def test_queue_depth_never_exceeds_high_watermark(self):
+        policy = BackpressurePolicy(low_watermark=2, high_watermark=6)
+        scheduler = one_device_scheduler(policy)
+        self.flood(scheduler, 50)
+        assert scheduler.queues["Belem"].queue_length <= 6
+
+    def test_admits_everything_below_low_watermark(self):
+        policy = BackpressurePolicy(low_watermark=3, high_watermark=6)
+        scheduler = one_device_scheduler(policy)
+        jobs = self.flood(scheduler, 3)
+        assert not any(job.rejected for job in jobs)
+
+    def test_sheds_fractionally_between_watermarks(self):
+        policy = BackpressurePolicy(low_watermark=2, high_watermark=20)
+        scheduler = one_device_scheduler(policy)
+        jobs = self.flood(scheduler, 30)
+        rejected = sum(job.rejected for job in jobs)
+        # Partial shedding: some arrivals bounce, but not all of the
+        # between-watermark band does.
+        assert 0 < rejected < 28
+
+    def test_shedding_is_deterministic(self):
+        def rejected_ids():
+            policy = BackpressurePolicy(low_watermark=2, high_watermark=8)
+            scheduler = one_device_scheduler(policy)
+            jobs = self.flood(scheduler, 40)
+            return [job.job_id for job in jobs if job.rejected]
+
+        first = rejected_ids()
+        assert first and first == rejected_ids()
+
+    def test_foreground_is_always_admitted(self):
+        policy = BackpressurePolicy(low_watermark=1, high_watermark=2)
+        scheduler = one_device_scheduler(policy)
+        self.flood(scheduler, 20)
+        probe = scheduler.submit(
+            device_name="Belem", arrival=2.0, duration=10.0, foreground=True
+        )
+        scheduler.run_until_complete(probe)
+        assert not probe.rejected and probe.done
+
+
+class TestDeadlinePolicy:
+    def test_registered(self):
+        assert "deadline" in POLICY_REGISTRY
+        assert isinstance(resolve_policy("deadline"), DeadlinePolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlinePolicy(foreground_slack=0.0)
+        with pytest.raises(ValueError):
+            DeadlinePolicy(tier_slacks=(100.0, -1.0))
+
+    @staticmethod
+    def tenants_in_different_tiers():
+        """Two tenant names hashing into the tightest and loosest tiers."""
+        import zlib
+
+        policy = DeadlinePolicy()
+        found = {}
+        i = 0
+        while len(found) < len(policy.tier_slacks):
+            name = f"t{i}"
+            found.setdefault(zlib.crc32(name.encode()) % len(policy.tier_slacks), name)
+            i += 1
+        tight = found[min(found)]
+        loose = found[max(found)]
+        assert policy.slack_for(
+            type("J", (), {"foreground": False, "tenant": tight})()
+        ) < policy.slack_for(type("J", (), {"foreground": False, "tenant": loose})())
+        return tight, loose
+
+    def test_admission_stamps_deadlines(self):
+        scheduler = one_device_scheduler(DeadlinePolicy(foreground_slack=600.0))
+        job = scheduler.submit(device_name="Belem", arrival=5.0, duration=10.0)
+        scheduler.run_until_complete(job)
+        assert job.deadline == pytest.approx(605.0)
+
+    def test_edf_lets_tight_tier_overtake_loose_tier(self):
+        tight, loose = self.tenants_in_different_tiers()
+        scheduler = one_device_scheduler(DeadlinePolicy())
+        blocker = scheduler.submit(device_name="Belem", arrival=0.0, duration=100.0)
+        late_bulk = scheduler.submit(
+            device_name="Belem",
+            arrival=0.0,
+            duration=10.0,
+            tenant=loose,
+            foreground=False,
+        )
+        interactive = scheduler.submit(
+            device_name="Belem",
+            arrival=1.0,
+            duration=10.0,
+            tenant=tight,
+            foreground=False,
+        )
+        for job in (blocker, late_bulk, interactive):
+            scheduler.run_until_complete(job)
+        # FIFO would start the bulk job first (it arrived earlier); EDF
+        # starts the interactive tenant because its deadline is sooner.
+        assert interactive.start_time == pytest.approx(100.0)
+        assert late_bulk.start_time == pytest.approx(110.0)
 
 
 class TestStatisticalQueuePolicy:

@@ -1,0 +1,127 @@
+"""Tests for the policy tournament harness: fleet cloning, cells, telemetry."""
+
+import pytest
+
+from repro.sched.tournament import (
+    FLEET_TEMPLATES,
+    SMOKE_CONFIG,
+    TournamentConfig,
+    clone_fleet,
+    publish_tournament,
+    run_cell,
+    run_tournament,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.report import render_text, tournament_table
+
+#: A deliberately tiny grid so the whole suite stays fast.
+TINY = TournamentConfig(
+    device_counts=(6,),
+    tenant_levels=(0, 200),
+    policies=("fifo", "backpressure"),
+    num_epochs=2,
+    clients=3,
+    epoch_job_seconds=120.0,
+)
+
+_WALL_FIELDS = ("wall_seconds", "events_per_sec_wall")
+
+
+class TestCloneFleet:
+    def test_count_and_unique_names(self):
+        fleet = clone_fleet(25)
+        names = [qpu.name for qpu, _ in fleet]
+        assert len(fleet) == 25
+        assert len(set(names)) == 25
+
+    def test_clones_cycle_templates_with_distinct_seeds(self):
+        fleet = clone_fleet(2 * len(FLEET_TEMPLATES))
+        seeds = [qpu.spec.seed for qpu, _ in fleet]
+        assert len(set(seeds)) == len(seeds)
+        first, second = fleet[0][0], fleet[len(FLEET_TEMPLATES)][0]
+        assert first.spec.base_job_seconds == second.spec.base_job_seconds
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            clone_fleet(0)
+
+
+class TestRunCell:
+    def test_cell_reports_all_tracked_fields(self):
+        cell = run_cell("fifo", 6, 200, TINY)
+        for field in (
+            "policy",
+            "devices",
+            "tenants",
+            "epochs_per_hour",
+            "foreground_wait_mean",
+            "events_processed",
+            "slo_queue_wait_p50",
+            "slo_queue_wait_p99",
+            "slo_rejected_fraction",
+            "slo_tenant_fairness_jain",
+        ):
+            assert field in cell, field
+        assert cell["epochs_per_hour"] > 0
+        assert 0.0 <= cell["slo_rejected_fraction"] <= 1.0
+
+    def test_cells_are_deterministic(self):
+        def strip(cell):
+            return {k: v for k, v in cell.items() if k not in _WALL_FIELDS}
+
+        assert strip(run_cell("backpressure", 6, 200, TINY)) == strip(
+            run_cell("backpressure", 6, 200, TINY)
+        )
+
+    def test_idle_fleet_trains_at_full_speed(self):
+        cell = run_cell("fifo", 6, 0, TINY)
+        assert cell["slo_rejected_fraction"] == 0.0
+        # No contention: each epoch costs exactly the fixed job duration.
+        assert cell["epochs_per_hour"] == pytest.approx(3600.0 / 120.0)
+
+
+class TestRunTournament:
+    def test_grid_shape_and_config_echo(self):
+        result = run_tournament(TINY)
+        assert len(result["cells"]) == 4
+        assert result["config"]["policies"] == ["fifo", "backpressure"]
+        coords = {(c["devices"], c["tenants"], c["policy"]) for c in result["cells"]}
+        assert len(coords) == 4
+
+    def test_smoke_grid_is_two_by_two(self):
+        cells = (
+            len(SMOKE_CONFIG.device_counts)
+            * len(SMOKE_CONFIG.tenant_levels)
+            * len(SMOKE_CONFIG.policies)
+        )
+        assert cells == 4
+
+
+class TestTelemetryPublication:
+    def test_gauges_round_trip_into_the_report_table(self):
+        result = run_tournament(TINY)
+        registry = MetricsRegistry()
+        publish_tournament(result, registry)
+        rows = tournament_table(dict(registry.gauges()))
+        assert len(rows) == len(result["cells"])
+        by_coord = {(c["devices"], c["tenants"], c["policy"]): c for c in result["cells"]}
+        for row in rows:
+            cell = by_coord[(row["devices"], row["tenants"], row["policy"])]
+            assert row["epochs_per_hour"] == pytest.approx(cell["epochs_per_hour"])
+            assert row["rejected_fraction"] == pytest.approx(
+                cell["slo_rejected_fraction"]
+            )
+
+    def test_render_text_includes_tournament_section(self):
+        result = run_tournament(TINY)
+        registry = MetricsRegistry()
+        publish_tournament(result, registry)
+        report = {
+            "counters": {},
+            "gauges": dict(registry.gauges()),
+            "histograms": {},
+            "spans_by_category": {},
+        }
+        text = render_text(report)
+        assert "tournament" in text
+        assert "backpressure" in text

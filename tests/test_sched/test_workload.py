@@ -1,10 +1,11 @@
 """Tests for the synthetic background tenant workload generator."""
 
+import numpy as np
 import pytest
 
 from repro.cloud.queueing import QueueModel, queue_model_for
 from repro.devices.catalog import build_qpu
-from repro.sched import CloudScheduler, WorkloadGenerator
+from repro.sched import CloudScheduler, EventKernel, WorkloadGenerator
 
 
 def scheduler_with_traffic(num_tenants, devices=("Belem",), seed=0, **workload_kwargs):
@@ -17,6 +18,24 @@ def scheduler_with_traffic(num_tenants, devices=("Belem",), seed=0, **workload_k
     return scheduler, workload
 
 
+def record_arrivals(horizon, num_tenants=100, devices=("Belem", "Bogota"), **kwargs):
+    """Every injected arrival as (device, time, tenant, circuits, priority)."""
+    scheduler, _ = scheduler_with_traffic(num_tenants, devices=devices, **kwargs)
+    records = []
+    for name, queue in scheduler.queues.items():
+        original = queue.on_arrival
+
+        def recorder(job, now, name=name, original=original):
+            records.append(
+                (name, job.arrival_time, job.tenant, job.num_circuits, job.priority)
+            )
+            original(job, now)
+
+        queue.on_arrival = recorder
+    scheduler.run_until_time(horizon)
+    return records
+
+
 class TestValidation:
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
@@ -27,6 +46,84 @@ class TestValidation:
             WorkloadGenerator(num_tenants=1, circuit_range=(0, 4))
         with pytest.raises(ValueError):
             WorkloadGenerator(num_tenants=1, circuit_range=(5, 4))
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=1, chunk_refresh_seconds=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(num_tenants=1, max_chunk=0)
+
+
+class TestBatchedSequentialEquivalence:
+    """Batched and sequential admission must agree bit-for-bit.
+
+    Both modes share the chunk generator (same RNG streams, same numpy
+    calls), so every arrival timestamp, tenant, batch size and priority must
+    be identical whether chunks enter the kernel through ``schedule_batch``
+    or one event at a time.
+    """
+
+    def test_arrival_streams_agree_bit_for_bit(self):
+        horizon = 6 * 3600.0
+        batched = record_arrivals(horizon, batch_arrivals=True)
+        sequential = record_arrivals(horizon, batch_arrivals=False)
+        assert len(batched) > 20
+        assert batched == sequential
+
+    def test_golden_pin_of_the_chunk_rng_protocol(self):
+        """Hex-pinned first arrivals for seed 0 — moves only if the chunked
+        RNG protocol (stream labels, draw order, cumsum accumulation) moves.
+        """
+        records = record_arrivals(3600.0, devices=("Belem",))
+        head = [(t.hex(), tenant, circuits) for _, t, tenant, circuits, _ in records[:4]]
+        assert head == [
+            ("0x1.f8b63a6437aa5p+7", "tenant42", 6),
+            ("0x1.f142911cc0f84p+8", "tenant57", 8),
+            ("0x1.40a808f14ab05p+9", "tenant23", 8),
+            ("0x1.4f1163ae5da98p+9", "tenant79", 4),
+        ]
+
+    def test_vectorized_draws_match_scalar_reference(self):
+        """The RNG contract the chunk protocol leans on: one ``size=K`` array
+        call consumes the bit stream exactly like K scalar draws, and
+        ``cumsum`` accumulates exactly like a sequential running sum."""
+        workload = WorkloadGenerator(num_tenants=100)
+        rate = workload.arrival_rate(queue_model_for("Belem"), 0.0)
+        size = 64
+
+        vec_rng = EventKernel(seed=0).rng_stream("workload/Belem")
+        times_vec = 0.0 + np.cumsum(vec_rng.standard_exponential(size) / rate)
+
+        scalar_rng = EventKernel(seed=0).rng_stream("workload/Belem")
+        running = 0.0
+        times_scalar = []
+        for _ in range(size):
+            running += float(scalar_rng.standard_exponential()) / rate
+            times_scalar.append(0.0 + running)
+        assert times_vec.tolist() == times_scalar
+
+        vec_marks = EventKernel(seed=0).rng_stream("workload/Belem/marks")
+        tenants_vec = vec_marks.integers(100, size=size).tolist()
+        scalar_marks = EventKernel(seed=0).rng_stream("workload/Belem/marks")
+        tenants_scalar = [int(scalar_marks.integers(100)) for _ in range(size)]
+        assert tenants_vec == tenants_scalar
+
+
+class TestSpreadLoad:
+    def test_spread_load_dilutes_per_device_traffic(self):
+        """With spread_load, a fixed community divides across the fleet, so
+        one device of a two-device fleet sees less traffic than a lone one."""
+
+        def belem_arrivals(devices):
+            scheduler, workload = scheduler_with_traffic(
+                num_tenants=400, devices=devices, spread_load=True
+            )
+            scheduler.run_until_time(4 * 3600.0)
+            return sum(
+                1 for job in scheduler.queues["Belem"].completed
+            ) + scheduler.queues["Belem"].queue_length
+
+        alone = belem_arrivals(("Belem",))
+        shared = belem_arrivals(("Belem", "Bogota", "Casablanca", "Lagos"))
+        assert shared < alone
 
 
 class TestArrivalRate:
